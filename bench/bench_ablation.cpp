@@ -1,0 +1,113 @@
+// E6 — Ablations of the paper's design choices (DESIGN.md §4).
+//
+// (a) Ownership exchange vs copy-based helping: jp and am share the same
+//     announce/help schedule; am replaces the O(1) buffer exchange with an
+//     O(W) copy into an O(N^2 W) handoff matrix. Measures the per-op cost
+//     of that difference at equal (N, W) — the time price am pays on top of
+//     its space price.
+// (b) Engine choice: the 128-bit CAS engine (dw128, no practical ABA bound)
+//     vs the packed 64-bit engine (packed64, cheaper CAS, 2^32 tag).
+// (c) VL cost: O(1) validation vs re-running a full O(W) LL — why the
+//     paper bothers exposing VL at all.
+//
+// Run: ./bench_ablation
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/am_llsc.hpp"
+#include "core/mwllsc.hpp"
+
+using namespace mwllsc;
+
+namespace {
+
+using JP128 = core::MwLLSC<llsc::Dw128LLSC>;
+using JP64 = core::MwLLSC<llsc::Packed64LLSC>;
+using AM128 = baseline::AmLLSC<llsc::Dw128LLSC>;
+using AM64 = baseline::AmLLSC<llsc::Packed64LLSC>;
+
+// (a)+(b): contended RMW pairs. google-benchmark's ->Threads(t) runs the
+// loop on t threads; each uses its thread_index as process id.
+template <typename Impl>
+void BM_ContendedRmw(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  static Impl* obj = nullptr;
+  if (state.thread_index() == 0) {
+    obj = new Impl(static_cast<std::uint32_t>(state.threads()), w);
+  }
+  std::vector<std::uint64_t> value(w);
+  for (auto _ : state) {
+    const auto p = static_cast<std::uint32_t>(state.thread_index());
+    obj->ll(p, value.data());
+    value[0] += 1;
+    benchmark::DoNotOptimize(obj->sc(p, value.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    state.counters["sc_success_pct"] =
+        100.0 * static_cast<double>(obj->stats().sc_success) /
+        static_cast<double>(obj->stats().sc_ops);
+    delete obj;
+    obj = nullptr;
+  }
+}
+
+// (c): VL vs LL as a "did anything change?" probe.
+void BM_ProbeWithVl(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  JP128 obj(2, w);
+  std::vector<std::uint64_t> out(w);
+  obj.ll(0, out.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.vl(0));  // O(1)
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ProbeWithLl(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  JP128 obj(2, w);
+  std::vector<std::uint64_t> out(w);
+  for (auto _ : state) {
+    obj.ll(0, out.data());  // O(W)
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+// (a) ownership exchange (jp) vs help-copy (am), multi-threaded.
+BENCHMARK_TEMPLATE(BM_ContendedRmw, JP128)
+    ->Arg(16)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedRmw, AM128)
+    ->Arg(16)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// (b) engine ablation at the same geometry.
+BENCHMARK_TEMPLATE(BM_ContendedRmw, JP64)
+    ->Arg(16)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedRmw, AM64)
+    ->Arg(16)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// (c) VL's O(1) probe vs an O(W) LL re-read.
+BENCHMARK(BM_ProbeWithVl)->Arg(4)->Arg(64)->Arg(1024);
+BENCHMARK(BM_ProbeWithLl)->Arg(4)->Arg(64)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,234 @@
+// E7 — Application-level throughput (the consumers the paper's §1 cites:
+// universal constructions, snapshots, wide counters).
+//
+// Three workloads, each driven through the IMwLLSC facade over jp / am /
+// retry / lock substrates, so substrate choice is the only variable:
+//   * counter   — W-word fetch&add (the introduction's example, widened);
+//   * snapshot  — M-component board: writers update their component,
+//                 readers take atomic scans;
+//   * register  — multiword read/write register, 90% reads.
+// Also prints each substrate's space at the application's geometry: the
+// factor-N space claim translated to application terms.
+//
+// Run: ./bench_apps
+#include <atomic>
+#include <cstdio>
+
+#include "apps/universal.hpp"
+#include "apps/wf_universal.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace mwllsc;
+using util::TablePrinter;
+
+namespace {
+
+constexpr std::uint64_t kDurationNs = 250'000'000;
+
+double counter_mops(core::IMwLLSC& obj, unsigned threads) {
+  std::atomic<std::uint64_t> total{0};
+  util::TimedRun run;
+  run.run_for(threads, kDurationNs, [&](unsigned t) {
+    std::vector<std::uint64_t> cur(obj.words());
+    std::uint64_t ops = 0;
+    while (!run.should_stop()) {
+      for (;;) {  // fetch&add via LL/SC retry
+        obj.ll(t, cur.data());
+        cur[0] += 1;
+        if (obj.sc(t, cur.data())) break;
+        if (run.should_stop()) break;
+      }
+      ++ops;
+    }
+    total.fetch_add(ops);
+  });
+  return static_cast<double>(total.load()) /
+         (static_cast<double>(kDurationNs) / 1e9) / 1e6;
+}
+
+double snapshot_scan_mops(core::IMwLLSC& obj, unsigned threads,
+                          unsigned writers, std::uint32_t comp_words) {
+  const auto r = [&] {
+    std::atomic<std::uint64_t> scans{0};
+    util::TimedRun run;
+    run.run_for(threads, kDurationNs, [&](unsigned t) {
+      std::vector<std::uint64_t> buf(obj.words());
+      std::uint64_t ops = 0;
+      if (t < writers) {
+        // Updater of component t: LL, overwrite own slice, SC retry.
+        while (!run.should_stop()) {
+          for (;;) {
+            obj.ll(t, buf.data());
+            for (std::uint32_t k = 0; k < comp_words; ++k)
+              buf[t * comp_words + k] = ops + k;
+            if (obj.sc(t, buf.data())) break;
+            if (run.should_stop()) break;
+          }
+          ++ops;
+        }
+      } else {
+        while (!run.should_stop()) {  // scan = one LL
+          obj.ll(t, buf.data());
+          ++ops;
+        }
+        scans.fetch_add(ops);
+      }
+    });
+    return scans.load();
+  }();
+  return static_cast<double>(r) / (static_cast<double>(kDurationNs) / 1e9) /
+         1e6;
+}
+
+double register_mops(core::IMwLLSC& obj, unsigned threads) {
+  std::atomic<std::uint64_t> total{0};
+  util::TimedRun run;
+  run.run_for(threads, kDurationNs, [&](unsigned t) {
+    std::vector<std::uint64_t> buf(obj.words());
+    util::Xoshiro256 g(t + 1);
+    std::uint64_t ops = 0;
+    while (!run.should_stop()) {
+      if (g.chance(1, 10)) {  // 10% writes
+        for (;;) {
+          obj.ll(t, buf.data());
+          buf[0] = g.next();
+          if (obj.sc(t, buf.data())) break;
+          if (run.should_stop()) break;
+        }
+      } else {
+        obj.ll(t, buf.data());
+      }
+      ++ops;
+    }
+    total.fetch_add(ops);
+  });
+  return static_cast<double>(total.load()) /
+         (static_cast<double>(kDurationNs) / 1e9) / 1e6;
+}
+
+std::size_t shared_words(core::IMwLLSC& obj) {
+  std::size_t bytes = 0;
+  const auto f = obj.footprint();
+  for (const auto& [name, b] : f.parts()) {
+    if (name.find("per-process state") == std::string::npos) bytes += b;
+  }
+  return bytes / 8;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(4u, std::thread::hardware_concurrency());
+  const unsigned threads = std::min(hw, 16u);
+  auto factories = bench::all_factories();
+
+  std::printf("E7: application throughput on different LL/SC substrates\n");
+  std::printf("threads = %u\n\n", threads);
+
+  {
+    std::printf("wide counter (3 limbs), Mops of fetch&add:\n");
+    TablePrinter table({"substrate", "Mops", "object words"});
+    for (auto& f : factories) {
+      auto obj = f.make(threads, 3);
+      const double mops = counter_mops(*obj, threads);
+      table.add_row({f.name, TablePrinter::num(mops, 2),
+                     TablePrinter::num(shared_words(*obj))});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  {
+    constexpr std::uint32_t kComponents = 8;
+    constexpr std::uint32_t kCompWords = 4;
+    const unsigned writers = std::min(threads - 1, kComponents);
+    std::printf(
+        "snapshot board (%u components x %u words), atomic scans, "
+        "%u writers:\n",
+        kComponents, kCompWords, writers);
+    TablePrinter table({"substrate", "scan Mops", "object words"});
+    for (auto& f : factories) {
+      auto obj = f.make(threads, kComponents * kCompWords);
+      const double mops =
+          snapshot_scan_mops(*obj, threads, writers, kCompWords);
+      table.add_row({f.name, TablePrinter::num(mops, 2),
+                     TablePrinter::num(shared_words(*obj))});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  {
+    // Universal constructions head to head: the lock-free LL/SC retry loop
+    // vs the wait-free help-all construction (paper §1, reference [1]).
+    struct Counter {
+      std::uint64_t v;
+    };
+    struct Inc {
+      std::uint64_t operator()(Counter& c, const apps::OpDesc&) const {
+        return c.v++;
+      }
+    };
+    std::printf(
+        "universal construction (counter op), %u threads, 250 ms:\n",
+        threads);
+    TablePrinter table(
+        {"construction", "Mops", "attempts/op", "progress"});
+    {
+      apps::UniversalObject<Counter> obj(threads, Counter{0});
+      std::atomic<std::uint64_t> ops{0};
+      util::TimedRun run;
+      run.run_for(threads, kDurationNs, [&](unsigned t) {
+        std::uint64_t mine = 0;
+        while (!run.should_stop()) {
+          obj.apply(t, [](Counter& c) { c.v++; });
+          ++mine;
+        }
+        ops.fetch_add(mine);
+      });
+      const double mops = static_cast<double>(ops.load()) /
+                          (static_cast<double>(kDurationNs) / 1e9) / 1e6;
+      table.add_row({"lock-free (retry)", TablePrinter::num(mops, 2),
+                     TablePrinter::num(static_cast<double>(obj.attempts_hint()) /
+                                           static_cast<double>(ops.load()),
+                                       2),
+                     "lock-free (unbounded attempts)"});
+    }
+    {
+      apps::WfUniversal<Counter, Inc> obj(threads, Counter{0});
+      std::atomic<std::uint64_t> ops{0};
+      util::TimedRun run;
+      run.run_for(threads, kDurationNs, [&](unsigned t) {
+        std::uint64_t mine = 0;
+        while (!run.should_stop()) {
+          obj.apply(t, apps::OpDesc{});
+          ++mine;
+        }
+        ops.fetch_add(mine);
+      });
+      const double mops = static_cast<double>(ops.load()) /
+                          (static_cast<double>(kDurationNs) / 1e9) / 1e6;
+      table.add_row({"wait-free (help-all)", TablePrinter::num(mops, 2),
+                     TablePrinter::num(static_cast<double>(obj.total_attempts()) /
+                                           static_cast<double>(ops.load()),
+                                       2),
+                     "wait-free (<= 3 attempts)"});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("multiword register (16 words), 90%% reads, Mops:\n");
+    TablePrinter table({"substrate", "Mops", "object words"});
+    for (auto& f : factories) {
+      auto obj = f.make(threads, 16);
+      const double mops = register_mops(*obj, threads);
+      table.add_row({f.name, TablePrinter::num(mops, 2),
+                     TablePrinter::num(shared_words(*obj))});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared infrastructure for the benchmark harness (experiments E1-E9, see
+// DESIGN.md §4): implementation factories behind the IMwLLSC facade and a
+// timed mixed-workload throughput driver, so every series in every table is
+// produced by identical code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/am_llsc.hpp"
+#include "baseline/lock_llsc.hpp"
+#include "baseline/retry_llsc.hpp"
+#include "core/any.hpp"
+#include "core/mwllsc.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/threads.hpp"
+#include "util/timing.hpp"
+
+namespace mwllsc::bench {
+
+/// The implementations every comparative experiment runs.
+inline std::vector<core::MwLLSCFactory> all_factories() {
+  using core::IMwLLSC;
+  using core::MwLLSCAdapter;
+  return {
+      {"jp", [](std::uint32_t n, std::uint32_t w) -> std::unique_ptr<IMwLLSC> {
+         return std::make_unique<MwLLSCAdapter<core::MwLLSC<llsc::Dw128LLSC>>>(
+             n, w);
+       }},
+      {"am", [](std::uint32_t n, std::uint32_t w) -> std::unique_ptr<IMwLLSC> {
+         return std::make_unique<
+             MwLLSCAdapter<baseline::AmLLSC<llsc::Dw128LLSC>>>(n, w);
+       }},
+      {"retry",
+       [](std::uint32_t n, std::uint32_t w) -> std::unique_ptr<IMwLLSC> {
+         return std::make_unique<
+             MwLLSCAdapter<baseline::RetryLLSC<llsc::Dw128LLSC>>>(n, w);
+       }},
+      {"lock",
+       [](std::uint32_t n, std::uint32_t w) -> std::unique_ptr<IMwLLSC> {
+         return std::make_unique<MwLLSCAdapter<baseline::LockLLSC>>(n, w);
+       }},
+  };
+}
+
+inline core::MwLLSCFactory factory_by_name(const std::string& name) {
+  for (auto& f : all_factories()) {
+    if (f.name == name) return f;
+  }
+  std::abort();
+}
+
+/// Thread counts for scaling experiments: 1, 2, 4, ... up to the hardware.
+inline std::vector<unsigned> scaling_thread_counts(unsigned cap = 0) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  if (cap != 0 && hw > cap) hw = cap;
+  std::vector<unsigned> out;
+  for (unsigned t = 1; t <= hw; t *= 2) out.push_back(t);
+  if (out.back() != hw) out.push_back(hw);
+  return out;
+}
+
+struct ThroughputResult {
+  double mops = 0;            // million operations per second (LL+SC pairs)
+  double sc_success_rate = 0; // successful SCs / attempted SCs
+  core::OpStatsSnapshot stats;
+};
+
+/// Timed mixed workload: every thread loops { LL; modify; SC } on a private
+/// process id for `duration_ns`. This is the paper's canonical use pattern
+/// (read-modify-write of a W-word object).
+inline ThroughputResult run_rmw_throughput(core::IMwLLSC& obj,
+                                           unsigned threads,
+                                           std::uint64_t duration_ns) {
+  std::atomic<std::uint64_t> total_pairs{0};
+  util::TimedRun run;
+  run.run_for(threads, duration_ns, [&](unsigned t) {
+    std::vector<std::uint64_t> value(obj.words());
+    std::uint64_t pairs = 0;
+    util::SplitMix64 g(t + 1);
+    while (!run.should_stop()) {
+      obj.ll(t, value.data());
+      value[0] += 1;
+      if (obj.words() > 1) value[obj.words() - 1] = g.next();
+      obj.sc(t, value.data());
+      ++pairs;
+    }
+    total_pairs.fetch_add(pairs);
+  });
+  ThroughputResult r;
+  r.stats = obj.stats();
+  r.mops = static_cast<double>(total_pairs.load()) /
+           (static_cast<double>(duration_ns) / 1e9) / 1e6;
+  r.sc_success_rate = r.stats.sc_ops
+                          ? static_cast<double>(r.stats.sc_success) /
+                                static_cast<double>(r.stats.sc_ops)
+                          : 0.0;
+  return r;
+}
+
+/// Mixed reader/writer workload: `writers` threads do LL;SC, the rest do LL
+/// only. Returns reader+writer op rates.
+struct MixedResult {
+  double reader_mops = 0;
+  double writer_mops = 0;
+  core::OpStatsSnapshot stats;
+};
+
+inline MixedResult run_mixed_throughput(core::IMwLLSC& obj, unsigned threads,
+                                        unsigned writers,
+                                        std::uint64_t duration_ns) {
+  std::atomic<std::uint64_t> reads{0}, writes{0};
+  util::TimedRun run;
+  run.run_for(threads, duration_ns, [&](unsigned t) {
+    std::vector<std::uint64_t> value(obj.words());
+    std::uint64_t ops = 0;
+    if (t < writers) {
+      while (!run.should_stop()) {
+        obj.ll(t, value.data());
+        value[0] += 1;
+        obj.sc(t, value.data());
+        ++ops;
+      }
+      writes.fetch_add(ops);
+    } else {
+      while (!run.should_stop()) {
+        obj.ll(t, value.data());
+        ++ops;
+      }
+      reads.fetch_add(ops);
+    }
+  });
+  MixedResult r;
+  r.stats = obj.stats();
+  const double secs = static_cast<double>(duration_ns) / 1e9;
+  r.reader_mops = static_cast<double>(reads.load()) / secs / 1e6;
+  r.writer_mops = static_cast<double>(writes.load()) / secs / 1e6;
+  return r;
+}
+
+}  // namespace mwllsc::bench

@@ -1,0 +1,95 @@
+// E2 — Time complexity (Theorem 1): LL and SC run in O(W), VL in O(1).
+//
+// Google-benchmark microbenchmark: uncontended single-thread latency of LL,
+// SC and VL as W sweeps 1..1024, for the paper's algorithm and the AM-style
+// baseline. The expected shape: LL/SC cost grows linearly with W (the
+// W-word copies dominate); VL stays flat. AM's SC carries the extra
+// help-copy overhead.
+//
+// Run: ./bench_latency_vs_w
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/am_llsc.hpp"
+#include "baseline/lock_llsc.hpp"
+#include "core/mwllsc.hpp"
+
+using namespace mwllsc;
+
+namespace {
+
+template <typename Impl>
+void BM_LL(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  Impl obj(2, w);
+  std::vector<std::uint64_t> out(w);
+  for (auto _ : state) {
+    obj.ll(0, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["words"] = w;
+}
+
+template <typename Impl>
+void BM_LLSC_Pair(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  Impl obj(2, w);
+  std::vector<std::uint64_t> value(w);
+  for (auto _ : state) {
+    obj.ll(0, value.data());
+    value[0] += 1;
+    const bool ok = obj.sc(0, value.data());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["words"] = w;
+}
+
+template <typename Impl>
+void BM_VL(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  Impl obj(2, w);
+  std::vector<std::uint64_t> out(w);
+  obj.ll(0, out.data());
+  for (auto _ : state) {
+    const bool ok = obj.vl(0);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["words"] = w;
+}
+
+using JP128 = core::MwLLSC<llsc::Dw128LLSC>;
+using JP64 = core::MwLLSC<llsc::Packed64LLSC>;
+using AM128 = baseline::AmLLSC<llsc::Dw128LLSC>;
+using Lock = baseline::LockLLSC;
+
+constexpr std::int64_t kMinW = 1;
+constexpr std::int64_t kMaxW = 1024;
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_LL, JP128)->RangeMultiplier(4)->Range(kMinW, kMaxW);
+BENCHMARK_TEMPLATE(BM_LL, AM128)->RangeMultiplier(4)->Range(kMinW, kMaxW);
+BENCHMARK_TEMPLATE(BM_LL, Lock)->RangeMultiplier(4)->Range(kMinW, kMaxW);
+
+BENCHMARK_TEMPLATE(BM_LLSC_Pair, JP128)
+    ->RangeMultiplier(4)
+    ->Range(kMinW, kMaxW);
+BENCHMARK_TEMPLATE(BM_LLSC_Pair, JP64)
+    ->RangeMultiplier(4)
+    ->Range(kMinW, kMaxW);
+BENCHMARK_TEMPLATE(BM_LLSC_Pair, AM128)
+    ->RangeMultiplier(4)
+    ->Range(kMinW, kMaxW);
+BENCHMARK_TEMPLATE(BM_LLSC_Pair, Lock)
+    ->RangeMultiplier(4)
+    ->Range(kMinW, kMaxW);
+
+// VL must be flat in W (O(1), Theorem 1).
+BENCHMARK_TEMPLATE(BM_VL, JP128)->RangeMultiplier(16)->Range(kMinW, kMaxW);
+BENCHMARK_TEMPLATE(BM_VL, AM128)->RangeMultiplier(16)->Range(kMinW, kMaxW);
+
+BENCHMARK_MAIN();

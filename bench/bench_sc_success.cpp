@@ -1,0 +1,42 @@
+// E5 — SC success rate under contention (Figure 1 semantics).
+//
+// LL/SC failures are *semantic* — an SC fails iff another successful SC
+// intervened — never spurious (the paper contrasts this with RLL/RSC).
+// Consequently all correct implementations should show nearly identical
+// success rates at equal contention: success rate ~ 1/threads once the
+// object is saturated, because exactly one SC wins per "round".
+//
+// Run: ./bench_sc_success
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace mwllsc;
+using util::TablePrinter;
+
+int main() {
+  constexpr std::uint64_t kDurationNs = 250'000'000;
+  auto factories = bench::all_factories();
+
+  std::printf(
+      "E5: SC success rate (successful SCs / attempted SCs), W = 8\n"
+      "expectation: ~100%% uncontended, ~1/threads saturated, and nearly\n"
+      "identical across implementations (failures are semantic, not "
+      "spurious)\n\n");
+
+  TablePrinter table(
+      {"threads", "jp", "am", "retry", "lock", "1/threads"});
+  for (unsigned t : bench::scaling_thread_counts()) {
+    std::vector<std::string> row = {TablePrinter::num(std::size_t{t})};
+    for (auto& f : factories) {
+      auto obj = f.make(t, 8);
+      const auto r = bench::run_rmw_throughput(*obj, t, kDurationNs);
+      row.push_back(TablePrinter::num(100.0 * r.sc_success_rate, 1) + "%");
+    }
+    row.push_back(TablePrinter::num(100.0 / t, 1) + "%");
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E3 — Contended throughput vs thread count (the paper's §1 motivation:
+// lock-free objects avoid the serialization and convoying of locks).
+//
+// For each W in {4, 16, 64} prints a table: threads x implementation ->
+// million LL;SC pairs per second. Expected shape: jp and am track each
+// other (same helping schedule; am pays an extra copy), retry is fastest at
+// low contention but collapses for readers under write storms (see E8), and
+// lock serializes.
+//
+// Run: ./bench_throughput_vs_n
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace mwllsc;
+using util::TablePrinter;
+
+int main() {
+  constexpr std::uint64_t kDurationNs = 250'000'000;  // 250 ms per cell
+  const auto threads = bench::scaling_thread_counts();
+  auto factories = bench::all_factories();
+
+  std::printf(
+      "E3: throughput under contention (million LL;SC pairs per second)\n"
+      "every thread loops { LL; modify; SC } on one shared W-word object\n\n");
+
+  for (std::uint32_t w : {4u, 16u, 64u}) {
+    TablePrinter table({"threads", "jp", "am", "retry", "lock",
+                        "jp sc-success"});
+    for (unsigned t : threads) {
+      std::vector<std::string> row = {TablePrinter::num(std::size_t{t})};
+      double jp_rate = 0;
+      for (auto& f : factories) {
+        auto obj = f.make(t, w);
+        const auto r = bench::run_rmw_throughput(*obj, t, kDurationNs);
+        row.push_back(TablePrinter::num(r.mops, 2));
+        if (f.name == "jp") jp_rate = r.sc_success_rate;
+      }
+      row.push_back(TablePrinter::num(100.0 * jp_rate, 1) + "%");
+      table.add_row(std::move(row));
+    }
+    std::printf("W = %u words\n", w);
+    table.print();
+    std::printf("\n");
+  }
+
+  // Disjoint-access scaling: K independent objects, each thread works on a
+  // random object per op. With contention spread across objects, the
+  // CAS-based implementations scale again — the single-object tables above
+  // measure the worst case, this one the common case.
+  {
+    constexpr std::uint32_t kObjects = 32;
+    constexpr std::uint32_t kW = 8;
+    std::printf("disjoint-access scaling: %u independent objects, W = %u\n",
+                kObjects, kW);
+    TablePrinter table({"threads", "jp", "am", "retry", "lock"});
+    for (unsigned t : threads) {
+      std::vector<std::string> row = {TablePrinter::num(std::size_t{t})};
+      for (auto& f : factories) {
+        std::vector<std::unique_ptr<core::IMwLLSC>> objs;
+        for (std::uint32_t k = 0; k < kObjects; ++k)
+          objs.push_back(f.make(t, kW));
+        std::atomic<std::uint64_t> pairs{0};
+        util::TimedRun run;
+        run.run_for(t, kDurationNs, [&](unsigned tid) {
+          std::vector<std::uint64_t> value(kW);
+          util::Xoshiro256 g(tid + 1);
+          std::uint64_t mine = 0;
+          while (!run.should_stop()) {
+            core::IMwLLSC& obj = *objs[g.next_below(kObjects)];
+            obj.ll(tid, value.data());
+            value[0] += 1;
+            obj.sc(tid, value.data());
+            ++mine;
+          }
+          pairs.fetch_add(mine);
+        });
+        row.push_back(TablePrinter::num(
+            static_cast<double>(pairs.load()) /
+                (static_cast<double>(kDurationNs) / 1e9) / 1e6,
+            2));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+  }
+  return 0;
+}
