@@ -98,7 +98,7 @@ inline ThroughputResult run_rmw_throughput(core::IMwLLSC& obj,
   ThroughputResult r;
   r.stats = obj.stats();
   r.mops = static_cast<double>(total_pairs.load()) /
-           (static_cast<double>(duration_ns) / 1e9) / 1e6;
+           (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
   r.sc_success_rate = r.stats.sc_ops
                           ? static_cast<double>(r.stats.sc_success) /
                                 static_cast<double>(r.stats.sc_ops)
@@ -140,7 +140,7 @@ inline MixedResult run_mixed_throughput(core::IMwLLSC& obj, unsigned threads,
   });
   MixedResult r;
   r.stats = obj.stats();
-  const double secs = static_cast<double>(duration_ns) / 1e9;
+  const double secs = static_cast<double>(run.measured_ns()) / 1e9;
   r.reader_mops = static_cast<double>(reads.load()) / secs / 1e6;
   r.writer_mops = static_cast<double>(writes.load()) / secs / 1e6;
   return r;

@@ -78,7 +78,7 @@ StallResult run_stall(const std::string& impl, unsigned threads,
   for (unsigned t = 1; t < threads; ++t) all.merge(hists[t]);
   StallResult r;
   r.fast_mops = static_cast<double>(fast_ops.load()) /
-                (static_cast<double>(kDurationNs) / 1e9) / 1e6;
+                (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
   r.p50 = all.percentile(0.50);
   r.p99 = all.percentile(0.99);
   r.max = static_cast<std::uint64_t>(all.max());
@@ -122,7 +122,7 @@ StallResult run_lock_cs(unsigned threads, std::uint64_t stall_ns) {
   for (unsigned t = 1; t < threads; ++t) all.merge(hists[t]);
   StallResult r;
   r.fast_mops = static_cast<double>(fast_ops.load()) /
-                (static_cast<double>(kDurationNs) / 1e9) / 1e6;
+                (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
   r.p50 = all.percentile(0.50);
   r.p99 = all.percentile(0.99);
   r.max = static_cast<std::uint64_t>(all.max());

@@ -78,7 +78,7 @@ int main() {
         });
         row.push_back(TablePrinter::num(
             static_cast<double>(pairs.load()) /
-                (static_cast<double>(kDurationNs) / 1e9) / 1e6,
+                (static_cast<double>(run.measured_ns()) / 1e9) / 1e6,
             2));
       }
       table.add_row(std::move(row));

@@ -1,0 +1,98 @@
+// Blocking baseline: one mutex around a W-word value plus a version
+// counter for the link semantics. Simple and sequentially fast, but a
+// stalled holder blocks every other process — the convoying/fault-
+// tolerance failure mode the paper's introduction argues against.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mwllsc::baseline {
+
+class LockLLSC {
+ public:
+  LockLLSC(std::uint32_t nprocs, std::uint32_t words)
+      : n_(nprocs),
+        w_(words),
+        value_(words, 0),
+        linked_(new Linked[nprocs]),
+        stats_(nprocs) {
+    assert(nprocs >= 1);
+    assert(words >= 1);
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+      linked_[p].version = kUnlinked;
+    }
+  }
+
+  void ll(std::uint32_t p, std::uint64_t* out) {
+    assert(p < n_);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      for (std::uint32_t i = 0; i < w_; ++i) out[i] = value_[i];
+      linked_[p].version = version_;
+    }
+    stats_.at(p).bump(stats_.at(p).ll_ops);
+  }
+
+  bool sc(std::uint32_t p, const std::uint64_t* v) {
+    assert(p < n_);
+    auto& c = stats_.at(p);
+    c.bump(c.sc_ops);
+    bool ok = false;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (linked_[p].version == version_) {
+        for (std::uint32_t i = 0; i < w_; ++i) value_[i] = v[i];
+        ++version_;
+        ok = true;
+      }
+      linked_[p].version = kUnlinked;  // the link is consumed either way
+    }
+    if (ok) c.bump(c.sc_success);
+    return ok;
+  }
+
+  bool vl(std::uint32_t p) {
+    assert(p < n_);
+    auto& c = stats_.at(p);
+    c.bump(c.vl_ops);
+    std::lock_guard<std::mutex> g(mu_);
+    return linked_[p].version == version_;
+  }
+
+  std::uint32_t words() const { return w_; }
+
+  core::OpStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  util::Footprint footprint() const {
+    util::Footprint f;
+    f.add("value (W words)", w_ * sizeof(std::uint64_t));
+    f.add("mutex + version", sizeof(mu_) + sizeof(version_));
+    f.add("per-process state (private)",
+          n_ * sizeof(Linked) + stats_.bytes());
+    return f;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnlinked = ~std::uint64_t{0};
+
+  struct alignas(64) Linked {
+    std::uint64_t version;
+  };
+
+  const std::uint32_t n_;
+  const std::uint32_t w_;
+  std::mutex mu_;
+  std::uint64_t version_ = 0;
+  std::vector<std::uint64_t> value_;
+  std::unique_ptr<Linked[]> linked_;
+  util::OpStatsArray stats_;
+};
+
+}  // namespace mwllsc::baseline

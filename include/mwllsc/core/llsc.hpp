@@ -1,0 +1,130 @@
+// Single-word LL/SC building blocks ("the hardware primitive").
+//
+// Real hardware LL/SC is not exposed portably, so both engines emulate an
+// N-process single-word LL/SC variable with CAS on a (value, sequence-tag)
+// pair; the tag advances on every successful SC, which makes SC failures
+// semantic (an SC fails iff another SC succeeded since the caller's LL) and
+// defeats ABA up to tag wrap-around:
+//
+//   * Dw128LLSC   — 128-bit CAS (x86 cmpxchg16b via libatomic): full 64-bit
+//                   values and a 64-bit tag, i.e. no practical ABA bound.
+//   * Packed64LLSC — single 64-bit CAS holding a 32-bit value and a 32-bit
+//                   tag: cheaper hardware op, wraps after 2^32 SCs. The
+//                   ablation engine.
+//
+// Per-process link state (the word observed at the last LL) is private to
+// the linking process and padded to its own cache line.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace mwllsc::llsc {
+
+namespace detail {
+
+/// Shared implementation: Word is the CAS granule, split into the low
+/// kValueBits of value and the remaining high bits of sequence tag.
+template <typename Word, unsigned kValueBitsParam>
+class SeqTagLLSC {
+ public:
+  static constexpr unsigned kValueBits = kValueBitsParam;
+  static constexpr unsigned kTagBits = sizeof(Word) * 8 - kValueBitsParam;
+
+  explicit SeqTagLLSC(std::uint32_t nprocs, std::uint64_t initial = 0)
+      : links_(new Link[nprocs]), n_(nprocs) {
+    assert(nprocs >= 1);
+    cell_.w.store(pack(initial, 0), std::memory_order_relaxed);
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+      links_[p].seen = kUnlinked;
+    }
+  }
+
+  /// Load-linked: returns the current value and links p to it. A later
+  /// sc/vl by p succeeds iff no successful SC (by anyone) intervened.
+  std::uint64_t ll(std::uint32_t p) {
+    const Word w = cell_.w.load(std::memory_order_acquire);
+    links_[p].seen = w;
+    return value_of(w);
+  }
+
+  /// Store-conditional: succeeds iff the variable still carries the exact
+  /// (value, tag) pair p linked to; installs v with the next tag.
+  bool sc(std::uint32_t p, std::uint64_t v) {
+    Word expected = links_[p].seen;
+    links_[p].seen = kUnlinked;  // the link is consumed either way
+    if (expected == kUnlinked) return false;
+    const Word desired = pack(v, tag_of(expected) + 1);
+    return cell_.w.compare_exchange_strong(expected, desired,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed);
+  }
+
+  /// Validate: true iff p's link is still current. Does not consume it.
+  bool vl(std::uint32_t p) const {
+    const Word w = links_[p].seen;
+    if (w == kUnlinked) return false;
+    return cell_.w.load(std::memory_order_acquire) == w;
+  }
+
+  /// Unlinked read of the current value.
+  std::uint64_t peek() const {
+    return value_of(cell_.w.load(std::memory_order_acquire));
+  }
+
+  /// Tag of the word p linked to (for deterministic help scheduling).
+  std::uint64_t linked_tag(std::uint32_t p) const {
+    return tag_of(links_[p].seen);
+  }
+
+  std::uint64_t current_tag() const {
+    return tag_of(cell_.w.load(std::memory_order_acquire));
+  }
+
+  std::size_t shared_bytes() const { return sizeof(Cell); }
+  std::size_t private_bytes() const { return n_ * sizeof(Link); }
+
+ private:
+  static constexpr Word kValueMask =
+      kValueBitsParam == sizeof(Word) * 8
+          ? static_cast<Word>(~Word{0})
+          : (Word{1} << kValueBitsParam) - 1;
+  // All-ones is unreachable: the tag would have to hit its maximum, which
+  // takes 2^kTagBits successful SCs.
+  static constexpr Word kUnlinked = static_cast<Word>(~Word{0});
+
+  static Word pack(std::uint64_t v, std::uint64_t tag) {
+    assert((static_cast<Word>(v) & ~kValueMask) == 0);
+    return (static_cast<Word>(tag) << kValueBitsParam) |
+           (static_cast<Word>(v) & kValueMask);
+  }
+  static std::uint64_t value_of(Word w) {
+    return static_cast<std::uint64_t>(w & kValueMask);
+  }
+  static std::uint64_t tag_of(Word w) {
+    return static_cast<std::uint64_t>(w >> kValueBitsParam);
+  }
+
+  // A full line to itself: the CAS-hot variable must not share a cache
+  // line with the read-mostly members (or the enclosing object's fields).
+  struct alignas(64) Cell {
+    std::atomic<Word> w;
+  };
+  struct alignas(64) Link {
+    Word seen;  // only process p reads/writes links_[p]
+  };
+
+  Cell cell_;
+  std::unique_ptr<Link[]> links_;
+  std::uint32_t n_;
+};
+
+}  // namespace detail
+
+using Dw128LLSC = detail::SeqTagLLSC<unsigned __int128, 64>;
+using Packed64LLSC = detail::SeqTagLLSC<std::uint64_t, 32>;
+
+}  // namespace mwllsc::llsc

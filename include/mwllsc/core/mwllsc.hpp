@@ -1,0 +1,290 @@
+// The paper's wait-free N-process W-word LL/SC variable, built from a
+// single-word LL/SC building block (core/llsc.hpp).
+//
+// Layout. The W-word value always lives in one of 2N+1 buffers. The 1-word
+// LL/SC variable X holds the descriptor <pid, buf>: which buffer is current
+// and who installed it. Every process owns two buffers at all times: a
+// *spare* it writes its next SC value into, and an *exchange* buffer it
+// offers through its announce slot. The remaining buffer is current.
+//
+// Fast path. LL(p) announces, then reads X, copies the current buffer and
+// validates X; if X did not move, the copy is a consistent snapshot
+// (buffers are recycled only after an intervening successful SC, which
+// would change X's tag). SC(p) writes its spare, then does a 1-word SC on
+// X; on success the previously-current buffer is retired and becomes p's
+// new spare — the "bank" pointer write of Line 13, exactly one per
+// successful SC (invariant I2).
+//
+// Helping (announce / ownership exchange). A copy loop can starve under a
+// write storm, so LL(p) first publishes <WAITING, exchange-buf, seq> in its
+// announce slot A[p]. Every SC, *before* its 1-word SC on X, probes one
+// announce slot chosen by the tag it is about to install: the winner of tag
+// T+1 probes A[(T+1) mod N]. On success it donates the retired buffer —
+// which holds the value that was current the instant before its SC — by
+// CASing A[p] from the exact WAITING word to <HELPED, retired-buf, seq>,
+// taking the offered exchange buffer in return. The exchange is O(1): no
+// value is copied, only buffer ownership moves (invariant I1: every buffer
+// has exactly one owner — current, a spare, or an exchange slot). Because
+// successful SCs install consecutive tags, the round-robin probe schedule
+// guarantees a WAITING process is served within N+1 successful SCs, so
+// LL(p) completes in at most N+3 copy attempts: wait-free with an
+// O(N + W + N*min(W, N)) step bound. (The paper's full protocol sharpens
+// this to O(W); see DESIGN.md for the delta.)
+//
+// Linearization. A fast-path LL linearizes at its validated read of X; a
+// helped LL linearizes immediately before the donor's successful SC — the
+// donor probed A[p] after p announced and before its SC, so that instant
+// lies within p's LL. A helped LL therefore returns with its link already
+// broken: VL reports false and SC fails in O(1), which is semantically
+// exact (a successful SC intervened).
+//
+// Memory ordering. Buffer words are relaxed atomics; the copy is validated
+// seqlock-style (acquire fence before the X re-check) and publication rides
+// X's seq_cst SC. Donated buffers need no validation: ownership transfer
+// makes them private to the reader, and their contents are visible through
+// the donor's release chain (value writer -> X -> donor -> A[p] -> reader).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/llsc.hpp"
+#include "util/stats.hpp"
+
+namespace mwllsc::core {
+
+template <class LLSC>
+class MwLLSC {
+ public:
+  /// Test seam: called at named protocol points when installed (never from
+  /// the default path — the pointer check is the only overhead).
+  using StepHook = void (*)(void* ctx, const char* point, std::uint32_t pid);
+
+  MwLLSC(std::uint32_t nprocs, std::uint32_t words)
+      : n_(nprocs),
+        w_(words),
+        nbufs_(2 * nprocs + 1),
+        x_(nprocs, pack_x(0, 2 * nprocs)),
+        buf_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
+            2 * nprocs + 1) * words]),
+        announce_(new AnnounceSlot[nprocs]),
+        priv_(new Priv[nprocs]),
+        stats_(nprocs) {
+    assert(nprocs >= 1 && nprocs <= kMaxProcs);
+    assert(words >= 1);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(nbufs_) * w_; ++i) {
+      buf_[i].store(0, std::memory_order_relaxed);
+    }
+    // Buffer 2N is current (holding the all-zero initial value); process p
+    // owns spare p and exchange buffer N+p.
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      priv_[p].spare = p;
+      priv_[p].xbuf = n_ + p;
+      announce_[p].a.store(pack_a(kIdle, n_ + p, 0),
+                           std::memory_order_relaxed);
+    }
+  }
+
+  void ll(std::uint32_t p, std::uint64_t* out) {
+    assert(p < n_);
+    Priv& me = priv_[p];
+    me.seq = (me.seq + 1) & kSeqMask;  // the announce word holds 44 bits
+    // Announce, offering our exchange buffer to a prospective helper.
+    announce_[p].a.store(pack_a(kWaiting, me.xbuf, me.seq),
+                         std::memory_order_seq_cst);
+    hook("ll:announced", p);
+    for (;;) {
+      const std::uint64_t x = x_.ll(p);
+      const std::uint32_t b = buf_of_x(x);
+      hook("ll:read_x", p);
+      copy_out(b, out);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (x_.vl(p)) {
+        // Fast path: the snapshot is consistent. Withdraw the announce.
+        std::uint64_t expect = pack_a(kWaiting, me.xbuf, me.seq);
+        if (!announce_[p].a.compare_exchange_strong(
+                expect, pack_a(kIdle, me.xbuf, me.seq),
+                std::memory_order_seq_cst)) {
+          // A donation raced in after our validate. The fast-path value
+          // stands (it linearizes at the validated read, which preceded
+          // the donor's SC); just adopt the donated buffer as our new
+          // exchange buffer — the donor took the one we offered.
+          assert(state_of_a(expect) == kHelped && seq_of_a(expect) == me.seq);
+          me.xbuf = buf_of_a(expect);
+          stats_.at(p).bump(stats_.at(p).ll_helped);
+        }
+        me.ll_buf = b;
+        me.link_valid = true;
+        stats_.at(p).bump(stats_.at(p).ll_ops);
+        return;
+      }
+      // Line 4: did a helper hand us a consistent value?
+      const std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
+      if (state_of_a(a) == kHelped && seq_of_a(a) == me.seq) {
+        // Line 7: return the donated snapshot. We own the buffer now; no
+        // validation needed.
+        const std::uint32_t d = buf_of_a(a);
+        copy_out(d, out);
+        me.xbuf = d;
+        me.link_valid = false;  // a successful SC already intervened
+        auto& c = stats_.at(p);
+        c.bump(c.ll_helped);
+        c.bump(c.ll_used_helped_value);
+        c.bump(c.ll_ops);
+        return;
+      }
+      hook("ll:retry", p);
+    }
+  }
+
+  bool sc(std::uint32_t p, const std::uint64_t* v) {
+    assert(p < n_);
+    Priv& me = priv_[p];
+    auto& c = stats_.at(p);
+    c.bump(c.sc_ops);
+    if (!me.link_valid) return false;  // helped LL or no LL: O(1) failure
+    me.link_valid = false;             // the link is consumed either way
+    // Write the new value into our spare buffer.
+    copy_in(me.spare, v);
+    std::atomic_thread_fence(std::memory_order_release);
+    hook("sc:wrote_spare", p);
+    // Probe the help schedule *before* the SC: the winner of tag T+1 reads
+    // A[(T+1) mod N], so consecutive winners sweep all slots, and any
+    // donation it later makes is for an announce that preceded its SC.
+    const std::uint32_t target =
+        static_cast<std::uint32_t>((x_.linked_tag(p) + 1) % n_);
+    std::uint64_t seen = announce_[target].a.load(std::memory_order_seq_cst);
+    if (!x_.sc(p, pack_x(p, me.spare))) return false;
+    c.bump(c.sc_success);
+    // Line 13, the bank write: retire the previously-current buffer (the
+    // one our LL observed) into our spare slot. Invariant I2: exactly one
+    // such write per successful SC.
+    const std::uint32_t retired = me.ll_buf;
+    me.spare = retired;
+    c.bump(c.bank_writes);
+    if (target != p && state_of_a(seen) == kWaiting) {
+      // Ownership exchange: donate the retired buffer — it holds the value
+      // that was current until our SC an instant ago — and take the
+      // exchange buffer the waiting process offered.
+      const std::uint64_t donated =
+          pack_a(kHelped, retired, seq_of_a(seen));
+      if (announce_[target].a.compare_exchange_strong(
+              seen, donated, std::memory_order_seq_cst)) {
+        me.spare = buf_of_a(seen);
+        c.bump(c.helps_given);
+      }
+    }
+    return true;
+  }
+
+  bool vl(std::uint32_t p) {
+    assert(p < n_);
+    auto& c = stats_.at(p);
+    c.bump(c.vl_ops);
+    if (!priv_[p].link_valid) return false;
+    return x_.vl(p);  // O(1), independent of W
+  }
+
+  std::uint32_t words() const { return w_; }
+
+  OpStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  util::Footprint footprint() const {
+    util::Footprint f;
+    f.add("X descriptor (1-word LL/SC)", x_.shared_bytes());
+    f.add("value buffers ((2N+1) x W words)",
+          static_cast<std::size_t>(nbufs_) * w_ * sizeof(std::uint64_t));
+    f.add("announce/help slots (N)", n_ * sizeof(AnnounceSlot));
+    f.add("per-process state (private)",
+          n_ * sizeof(Priv) + x_.private_bytes() + stats_.bytes());
+    return f;
+  }
+
+  void set_step_hook(StepHook h, void* ctx) {
+    hook_ = h;
+    hook_ctx_ = ctx;
+  }
+
+ private:
+  // X packs <pid, buf> into the engine's value bits: buf in the low 18,
+  // pid in the next 14 — fits the 32-bit value of the packed64 engine.
+  static constexpr std::uint32_t kBufBits = 18;
+  static constexpr std::uint32_t kPidBits = 14;
+  static constexpr std::uint32_t kMaxProcs = 1u << kPidBits;
+  static_assert(LLSC::kValueBits >= kBufBits + kPidBits,
+                "engine value too narrow for the <pid, buf> descriptor");
+
+  static std::uint64_t pack_x(std::uint32_t pid, std::uint32_t buf) {
+    return (static_cast<std::uint64_t>(pid) << kBufBits) | buf;
+  }
+  static std::uint32_t buf_of_x(std::uint64_t x) {
+    return static_cast<std::uint32_t>(x & ((1u << kBufBits) - 1));
+  }
+
+  // Announce slot word: state(2) | buf(18) | seq(44).
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kWaiting = 1;
+  static constexpr std::uint64_t kHelped = 2;
+
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << 44) - 1;
+
+  static std::uint64_t pack_a(std::uint64_t state, std::uint32_t buf,
+                              std::uint64_t seq) {
+    return (seq << 20) | (static_cast<std::uint64_t>(buf) << 2) | state;
+  }
+  static std::uint64_t state_of_a(std::uint64_t a) { return a & 3; }
+  static std::uint32_t buf_of_a(std::uint64_t a) {
+    return static_cast<std::uint32_t>((a >> 2) & ((1u << kBufBits) - 1));
+  }
+  static std::uint64_t seq_of_a(std::uint64_t a) { return a >> 20; }
+
+  struct alignas(64) AnnounceSlot {
+    std::atomic<std::uint64_t> a;
+  };
+
+  struct alignas(64) Priv {  // touched only by the owning process
+    std::uint32_t spare = 0;
+    std::uint32_t xbuf = 0;
+    std::uint32_t ll_buf = 0;
+    std::uint64_t seq = 0;
+    bool link_valid = false;
+  };
+
+  std::atomic<std::uint64_t>* buf_row(std::uint32_t b) const {
+    return buf_.get() + static_cast<std::size_t>(b) * w_;
+  }
+
+  void copy_out(std::uint32_t b, std::uint64_t* out) const {
+    const std::atomic<std::uint64_t>* row = buf_row(b);
+    for (std::uint32_t i = 0; i < w_; ++i) {
+      out[i] = row[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  void copy_in(std::uint32_t b, const std::uint64_t* v) {
+    std::atomic<std::uint64_t>* row = buf_row(b);
+    for (std::uint32_t i = 0; i < w_; ++i) {
+      row[i].store(v[i], std::memory_order_relaxed);
+    }
+  }
+
+  void hook(const char* point, std::uint32_t pid) {
+    if (hook_) hook_(hook_ctx_, point, pid);
+  }
+
+  const std::uint32_t n_;
+  const std::uint32_t w_;
+  const std::uint32_t nbufs_;
+  LLSC x_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buf_;
+  std::unique_ptr<AnnounceSlot[]> announce_;
+  std::unique_ptr<Priv[]> priv_;
+  util::OpStatsArray stats_;
+  StepHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
+};
+
+}  // namespace mwllsc::core

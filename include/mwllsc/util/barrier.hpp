@@ -1,0 +1,33 @@
+// Reusable sense-reversing barrier for synchronized bench thread starts.
+// Spins with yield so it behaves on machines with fewer cores than threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace mwllsc::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::uint32_t parties_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace mwllsc::util

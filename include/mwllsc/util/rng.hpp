@@ -1,0 +1,69 @@
+// Small fast PRNGs for the workload generators. SplitMix64 doubles as the
+// seeder for Xoshiro256**, the generator the benches use for per-thread
+// random streams.
+#pragma once
+
+#include <cstdint>
+
+namespace mwllsc::util {
+
+/// Sebastiano Vigna's SplitMix64: one 64-bit multiply-xorshift step per
+/// draw, passes BigCrush, and any seed (including 0) is fine.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded through SplitMix64 so that a
+/// small integer seed still yields a well-mixed initial state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, n) via Lemire's multiply-shift reduction.
+  std::uint32_t next_below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(static_cast<std::uint32_t>(next())) *
+         n) >>
+        32);
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint32_t num, std::uint32_t den) {
+    return next_below(den) < num;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace mwllsc::util

@@ -1,0 +1,67 @@
+// Minimal aligned-column table printer for the bench executables' stdout
+// reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mwllsc::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    print_row(headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, widths);
+  }
+
+  static std::string num(std::size_t v) { return std::to_string(v); }
+
+  static std::string num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
+      line += std::string(widths[c] - cell.size(), ' ') + cell;
+      if (c + 1 < widths.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  inline static const std::string kEmpty;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mwllsc::util

@@ -1,0 +1,57 @@
+// Timed multi-thread workload driver. All workers start together behind a
+// barrier, run until the driver raises the stop flag, and are joined before
+// run_for returns — so every measurement window has a clean start and end.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.hpp"
+#include "util/timing.hpp"
+
+namespace mwllsc::util {
+
+class TimedRun {
+ public:
+  /// Runs `fn(tid)` on `threads` threads for ~`duration_ns`. `fn` must poll
+  /// should_stop() in its loop. Reusable: each call resets the flag.
+  void run_for(unsigned threads, std::uint64_t duration_ns,
+               const std::function<void(unsigned)>& fn) {
+    stop_.store(false, std::memory_order_relaxed);
+    SpinBarrier start(threads + 1);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        start.arrive_and_wait();
+        fn(t);
+      });
+    }
+    start.arrive_and_wait();
+    const std::uint64_t t0 = now_ns();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration_ns));
+    stop_.store(true, std::memory_order_relaxed);
+    for (auto& th : pool) th.join();
+    // Workers keep counting until they observe the flag, and sleep_for can
+    // oversleep on loaded machines: rates must divide by the window the
+    // work actually spanned, not the nominal duration.
+    measured_ns_ = now_ns() - t0;
+  }
+
+  bool should_stop() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall time from synchronized start until all workers joined.
+  std::uint64_t measured_ns() const { return measured_ns_; }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::uint64_t measured_ns_ = 0;
+};
+
+}  // namespace mwllsc::util

@@ -1,0 +1,31 @@
+// Monotonic clock helpers used by the timed workloads and the latency
+// measurements.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mwllsc::util {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+
+  void reset() { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mwllsc::util

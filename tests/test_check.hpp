@@ -1,0 +1,30 @@
+// Tiny check harness for the ctest executables: CHECK aborts with location
+// and message on failure, and main-less tests just return from run_tests.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                   \
+  do {                                                                   \
+    const auto va_ = (a);                                                \
+    const auto vb_ = (b);                                                \
+    if (!(va_ == vb_)) {                                                 \
+      std::fprintf(stderr,                                               \
+                   "CHECK_EQ failed at %s:%d: %s == %s "                 \
+                   "(%llu vs %llu)\n",                                   \
+                   __FILE__, __LINE__, #a, #b,                           \
+                   static_cast<unsigned long long>(va_),                 \
+                   static_cast<unsigned long long>(vb_));                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)

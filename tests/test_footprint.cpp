@@ -1,0 +1,65 @@
+// Space-complexity shape checks (Theorem 1 / experiment E1): the paper's
+// algorithm is O(NW) shared words while the Anderson–Moir-style baseline is
+// O(N^2 W), so doubling N should roughly double jp and roughly quadruple
+// am. Fitted log-log exponents make the asymptotics explicit.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "test_check.hpp"
+
+using namespace mwllsc;
+
+namespace {
+
+std::size_t shared_bytes(core::IMwLLSC& obj) {
+  std::size_t bytes = 0;
+  const auto fp = obj.footprint();
+  for (const auto& [name, b] : fp.parts()) {
+    if (name.find("per-process state") == std::string::npos) bytes += b;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t w = 16;
+  const std::vector<std::uint32_t> ns = {4, 8, 16, 32, 64};
+  std::vector<double> xs, jp, am, retry;
+  for (std::uint32_t n : ns) {
+    auto j = bench::factory_by_name("jp").make(n, w);
+    auto a = bench::factory_by_name("am").make(n, w);
+    auto r = bench::factory_by_name("retry").make(n, w);
+    xs.push_back(n);
+    jp.push_back(static_cast<double>(shared_bytes(*j)));
+    am.push_back(static_cast<double>(shared_bytes(*a)));
+    retry.push_back(static_cast<double>(shared_bytes(*r)));
+  }
+
+  const double jp_exp = util::fitted_exponent(xs, jp);
+  const double am_exp = util::fitted_exponent(xs, am);
+  const double rt_exp = util::fitted_exponent(xs, retry);
+  std::printf("test_footprint: fitted exponents jp=N^%.2f am=N^%.2f "
+              "retry=N^%.2f\n", jp_exp, am_exp, rt_exp);
+
+  // jp and retry are linear in N, am quadratic (generous brackets).
+  CHECK(jp_exp > 0.7 && jp_exp < 1.3);
+  CHECK(rt_exp > 0.7 && rt_exp < 1.3);
+  CHECK(am_exp > 1.6 && am_exp < 2.4);
+
+  // At equal geometry am pays a factor ~N more shared space than jp.
+  const double ratio = am.back() / jp.back();
+  CHECK(ratio > static_cast<double>(ns.back()) / 4);
+
+  // Growing W grows jp linearly too (O(NW)).
+  auto j16 = bench::factory_by_name("jp").make(16, 16);
+  auto j64 = bench::factory_by_name("jp").make(16, 64);
+  const double wratio = static_cast<double>(shared_bytes(*j64)) /
+                        static_cast<double>(shared_bytes(*j16));
+  CHECK(wratio > 2.5 && wratio < 4.5);
+
+  std::printf("test_footprint: OK\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Deterministic exercise of the helping machinery, via the step hook: a
+// reader announces and reads X, then — before its copy can validate — the
+// hook drives another process through successful SCs until the help
+// schedule's round-robin probe lands on the reader's announce slot. The
+// reader's LL must then return the donated snapshot (the value current the
+// instant before the donating SC), with the helped/rescue/help-install
+// counters each firing exactly once, and the object must stay fully
+// functional afterwards (the ownership exchange preserved the buffer
+// accounting).
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/mwllsc.hpp"
+#include "test_check.hpp"
+
+using namespace mwllsc;
+
+namespace {
+
+constexpr std::uint32_t kW = 4;
+
+template <class Engine>
+struct HookState {
+  core::MwLLSC<Engine>* obj = nullptr;
+  bool fired = false;
+  std::vector<std::uint64_t> before_donating_sc;  // value the rescue returns
+};
+
+template <class Engine>
+void interfere(void* ctx, const char* point, std::uint32_t pid) {
+  auto* st = static_cast<HookState<Engine>*>(ctx);
+  if (st->fired || pid != 0) return;
+  if (std::strcmp(point, "ll:read_x") != 0) return;
+  st->fired = true;  // no reentrant interference from pid 1's own ops
+  // With N = 2 the winner of tag T+1 probes slot (T+1) mod 2, so two
+  // successful SCs by pid 1 are guaranteed to sweep slot 0. The donated
+  // buffer is the one retired by the *last* successful SC before the probe
+  // hit, i.e. it carries the value installed by the previous SC.
+  std::vector<std::uint64_t> v(kW);
+  for (std::uint64_t round = 1; round <= 2; ++round) {
+    st->obj->ll(1, v.data());
+    st->before_donating_sc = v;
+    for (std::uint32_t i = 0; i < kW; ++i) v[i] = 100 * round + i;
+    CHECK(st->obj->sc(1, v.data()));
+    if (st->obj->stats().helps_given > 0) return;
+  }
+  CHECK(st->obj->stats().helps_given > 0);
+}
+
+template <class Engine>
+void help_path_for() {
+  core::MwLLSC<Engine> obj(2, kW);
+  HookState<Engine> st;
+  st.obj = &obj;
+  obj.set_step_hook(&interfere<Engine>, &st);
+
+  std::vector<std::uint64_t> out(kW);
+  obj.ll(0, out.data());
+  obj.set_step_hook(nullptr, nullptr);
+
+  CHECK(st.fired);
+  const auto s = obj.stats();
+  CHECK_EQ(s.helps_given, 1u);
+  CHECK_EQ(s.ll_helped, 1u);
+  CHECK_EQ(s.ll_used_helped_value, 1u);
+  CHECK(s.bank_writes >= 1);
+
+  // The rescue returned the value that was current just before the
+  // donating SC — exactly what pid 1 read at the LL preceding it.
+  CHECK(out == st.before_donating_sc);
+
+  // A helped LL's link is already broken: an SC succeeded meanwhile.
+  CHECK(!obj.vl(0));
+  CHECK(!obj.sc(0, out.data()));
+
+  // The ownership exchange must leave the buffer pool consistent: both
+  // processes can keep operating and observe each other's updates.
+  std::vector<std::uint64_t> v(kW);
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    const std::uint32_t p = i & 1;
+    obj.ll(p, v.data());
+    const std::uint64_t expect_base = v[0];
+    for (std::uint32_t k = 0; k < kW; ++k) CHECK_EQ(v[k], expect_base + k);
+    for (std::uint32_t k = 0; k < kW; ++k) v[k] = 1000 + i + k;
+    CHECK(obj.sc(p, v.data()));
+  }
+  obj.ll(0, v.data());
+  CHECK_EQ(v[0], 1200u);
+}
+
+}  // namespace
+
+int main() {
+  help_path_for<llsc::Dw128LLSC>();
+  help_path_for<llsc::Packed64LLSC>();
+  std::printf("test_help_path: OK\n");
+  return 0;
+}

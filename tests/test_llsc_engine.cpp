@@ -1,0 +1,77 @@
+// Single-word LL/SC engine semantics: round-trips, semantic SC failure
+// (fails iff a successful SC intervened), VL, link consumption, and the
+// value-width contract of both engines.
+#include <cstdint>
+
+#include "core/llsc.hpp"
+#include "test_check.hpp"
+
+using namespace mwllsc;
+
+namespace {
+
+template <class Engine>
+void engine_semantics(std::uint64_t value_mask) {
+  Engine x(3, 7 & value_mask);
+  CHECK_EQ(x.peek(), 7 & value_mask);
+
+  // Round trip: LL then SC with no interference succeeds.
+  CHECK_EQ(x.ll(0), 7 & value_mask);
+  CHECK(x.vl(0));
+  CHECK(x.sc(0, 11));
+  CHECK_EQ(x.peek(), 11u);
+
+  // The link was consumed by the SC: VL and a second SC fail until re-LL.
+  CHECK(!x.vl(0));
+  CHECK(!x.sc(0, 12));
+  CHECK_EQ(x.peek(), 11u);
+
+  // Semantic failure: p1 links, p2's SC intervenes, p1's SC must fail.
+  CHECK_EQ(x.ll(1), 11u);
+  CHECK_EQ(x.ll(2), 11u);
+  CHECK(x.sc(2, 21));
+  CHECK(!x.vl(1));
+  CHECK(!x.sc(1, 22));
+  CHECK_EQ(x.peek(), 21u);
+
+  // ABA at the value level is defeated by the tag: restore the old value
+  // via two SCs; a stale link must still fail.
+  CHECK_EQ(x.ll(0), 21u);
+  CHECK_EQ(x.ll(1), 21u);
+  CHECK(x.sc(1, 5));
+  CHECK_EQ(x.ll(1), 5u);
+  CHECK(x.sc(1, 21));  // value back to 21, but the tag moved twice
+  CHECK_EQ(x.peek(), 21u);
+  CHECK(!x.vl(0));
+  CHECK(!x.sc(0, 99));
+
+  // SC without any LL fails.
+  Engine y(2, 0);
+  CHECK(!y.sc(0, 1));
+  CHECK(!y.vl(0));
+
+  // Tags advance once per successful SC.
+  Engine z(1, 0);
+  CHECK_EQ(z.current_tag(), 0u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    z.ll(0);
+    CHECK_EQ(z.linked_tag(0), i - 1);
+    CHECK(z.sc(0, i & value_mask));
+    CHECK_EQ(z.current_tag(), i);
+  }
+
+  // Space accounting exposes both shared and private parts.
+  CHECK(x.shared_bytes() > 0);
+  CHECK(x.private_bytes() > 0);
+}
+
+}  // namespace
+
+int main() {
+  engine_semantics<llsc::Dw128LLSC>(~std::uint64_t{0});
+  engine_semantics<llsc::Packed64LLSC>((std::uint64_t{1} << 32) - 1);
+  static_assert(llsc::Dw128LLSC::kValueBits == 64);
+  static_assert(llsc::Packed64LLSC::kValueBits == 32);
+  std::printf("test_llsc_engine: OK\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Unit checks for the util layer: PRNG determinism and ranges, histogram
+// percentiles, table formatting, the log-log exponent fit, and the timed
+// runner's start/stop discipline.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "test_check.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/threads.hpp"
+#include "util/timing.hpp"
+
+using namespace mwllsc;
+
+int main() {
+  // SplitMix64 is deterministic and matches the reference first outputs
+  // for seed 0 (Vigna's splitmix64.c).
+  {
+    util::SplitMix64 a(0);
+    CHECK_EQ(a.next(), 0xe220a8397b1dcdafULL);
+    CHECK_EQ(a.next(), 0x6e789e6aa1b965f4ULL);
+    util::SplitMix64 b(42), c(42);
+    for (int i = 0; i < 100; ++i) CHECK_EQ(b.next(), c.next());
+  }
+
+  // Xoshiro: deterministic per seed, next_below stays in range and hits
+  // every residue eventually, chance() respects 0 and certainty.
+  {
+    util::Xoshiro256 g(7), h(7);
+    for (int i = 0; i < 100; ++i) CHECK_EQ(g.next(), h.next());
+    bool seen[10] = {};
+    for (int i = 0; i < 10000; ++i) {
+      const std::uint32_t v = g.next_below(10);
+      CHECK(v < 10);
+      seen[v] = true;
+    }
+    for (bool s : seen) CHECK(s);
+    for (int i = 0; i < 100; ++i) CHECK(!g.chance(0, 10));
+    for (int i = 0; i < 100; ++i) CHECK(g.chance(10, 10));
+  }
+
+  // Histogram: percentiles are ordered and max is exact.
+  {
+    util::LatencyHistogram hist;
+    for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+    CHECK_EQ(hist.count(), 1000u);
+    CHECK_EQ(hist.max(), 1000u);
+    const auto p50 = hist.percentile(0.50);
+    const auto p99 = hist.percentile(0.99);
+    CHECK(p50 <= p99);
+    CHECK(p99 <= hist.max());
+    CHECK(p50 >= 256 && p50 <= 512);  // bucket lower bound of ~500
+
+    util::LatencyHistogram other;
+    other.record(1 << 20);
+    hist.merge(other);
+    CHECK_EQ(hist.count(), 1001u);
+    CHECK_EQ(hist.max(), static_cast<std::uint64_t>(1 << 20));
+  }
+
+  // fitted_exponent recovers the slope of a power law.
+  {
+    std::vector<double> xs, ys;
+    for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+      xs.push_back(x);
+      ys.push_back(3.0 * x * x);
+    }
+    const double k = util::fitted_exponent(xs, ys);
+    CHECK(std::fabs(k - 2.0) < 1e-9);
+  }
+
+  // Table printing with padded columns doesn't crash and formats numbers.
+  {
+    CHECK(util::TablePrinter::num(std::size_t{42}) == "42");
+    CHECK(util::TablePrinter::num(3.14159, 2) == "3.14");
+    util::TablePrinter t({"a", "long-header", "c"});
+    t.add_row({"1", "2", "3"});
+    t.add_row({"wide-cell", "4"});
+    t.print();
+  }
+
+  // TimedRun: all threads run, poll the flag, and stop near the deadline.
+  {
+    util::TimedRun run;
+    std::atomic<std::uint64_t> iters{0};
+    const std::uint64_t t0 = util::now_ns();
+    run.run_for(3, 50'000'000, [&](unsigned) {
+      std::uint64_t mine = 0;
+      while (!run.should_stop()) ++mine;
+      iters.fetch_add(mine);
+    });
+    const std::uint64_t elapsed = util::now_ns() - t0;
+    CHECK(iters.load() > 0);
+    CHECK(elapsed >= 50'000'000);
+    CHECK(elapsed < 30'000'000'000ULL);  // generous: loaded CI machines
+  }
+
+  // Stopwatch advances.
+  {
+    util::Stopwatch sw;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+    CHECK(sw.elapsed_ns() > 0);
+    CHECK(sw.elapsed_s() >= 0.0);
+  }
+
+  std::printf("test_util: OK\n");
+  return 0;
+}
