@@ -3,16 +3,28 @@
 //
 // For the paper's algorithm (jp), the AM baseline and the retry strawman,
 // runs seeded-random and anti-adversarial schedules and reports the MAXIMUM
-// steps any single LL took, against the O(W) bound. jp and am stay under
-// their bound for every schedule; retry's worst LL grows with however long
-// the adversary cares to run — the observable difference between wait-free
-// and merely lock-free.
+// steps any single LL took. jp and am stay under the *implemented*
+// protocol's O(N·W) bound (the N+3-copy-attempt bound of DESIGN.md §2) for
+// every schedule; retry's worst LL grows with however long the adversary
+// cares to run — the observable difference between wait-free and merely
+// lock-free. The paper's full-protocol target 4W+12 is reported as its own
+// column so the gap to the ROADMAP's O(W) tightening stays visible; it is
+// NOT the bound the current implementation promises.
+//
+// Every jp run executes under JpInvariantChecker (I1 buffer ownership, I2
+// bank writes, sequential-spec linearizability oracle); any violation makes
+// the driver exit nonzero, so this doubles as a verification pass.
 //
 // Also reports simulator throughput (steps/second) and CHESS coverage
 // (schedules/second), characterizing the verification substrate itself.
 //
-// Run: ./bench_sim_schedules
+// Run: ./bench_sim_schedules [--smoke]
+//   --smoke: reduced grid and run lengths for CI smoke testing.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
 
 #include "sim/harness.hpp"
 #include "sim/invariants.hpp"
@@ -28,8 +40,22 @@ using util::TablePrinter;
 
 namespace {
 
+bool g_all_ok = true;
+
 std::vector<std::uint64_t> init_value(std::uint32_t w) {
   return std::vector<std::uint64_t>(w, 1);
+}
+
+// sim::make_checker gives jp runs the full invariant checker (constructed
+// from the workload's own system, AFTER the move — never from the
+// moved-from shell) and the unmodeled baselines a NullChecker.
+
+void note(const RunResult& r, const char* what) {
+  if (!r.ok) {
+    std::fprintf(stderr, "INVARIANT FAILURE (%s schedule): %s\n", what,
+                 r.error.c_str());
+    g_all_ok = false;
+  }
 }
 
 template <typename System>
@@ -37,13 +63,13 @@ std::uint32_t worst_ll_random(std::uint32_t n, std::uint32_t w,
                               std::uint32_t seeds) {
   std::uint32_t worst = 0;
   for (std::uint64_t s = 1; s <= seeds; ++s) {
-    System sys(n, w, init_value(w));
-    NullChecker chk;
     WorkloadConfig cfg;
     cfg.ops_per_proc = 300;
     cfg.seed = s;
-    SimWorkload<System> wl(std::move(sys), cfg);
+    SimWorkload<System> wl(System(n, w, init_value(w)), cfg);
+    auto chk = make_checker(wl.system());
     const RunResult r = run_random(wl, chk, s * 7919);
+    note(r, "random");
     worst = std::max(worst, r.max_ll_steps);
   }
   return worst;
@@ -54,13 +80,14 @@ std::uint32_t worst_ll_adversarial(std::uint32_t n, std::uint32_t w,
                                    std::uint64_t max_steps) {
   std::uint32_t worst = 0;
   for (std::uint32_t victim = 0; victim < n; ++victim) {
-    System sys(n, w, init_value(w));
-    NullChecker chk;
     WorkloadConfig cfg;
-    cfg.ops_per_proc = 100000;  // effectively unbounded within max_steps
+    cfg.ops_per_proc = 1000000;  // effectively unbounded within max_steps
     cfg.vl_percent = 0;
-    SimWorkload<System> wl(std::move(sys), cfg);
-    (void)run_adversarial_anti(wl, chk, victim, w + 8, max_steps);
+    SimWorkload<System> wl(System(n, w, init_value(w)), cfg);
+    auto chk = make_checker(wl.system());
+    const RunResult r =
+        run_adversarial_anti(wl, chk, victim, w + 8, max_steps);
+    note(r, "adversarial");
     worst = std::max(worst, wl.max_ll_steps());
     // For a starved in-flight LL the completed-op maximum understates the
     // damage; count the stuck operation too.
@@ -69,67 +96,53 @@ std::uint32_t worst_ll_adversarial(std::uint32_t n, std::uint32_t w,
   return worst;
 }
 
-// Specialization for systems without steps_in_flight: fall back to the
-// completed-op maximum (their ops always complete — that is the theorem).
-template <>
-std::uint32_t worst_ll_adversarial<SimJpSystem>(std::uint32_t n,
-                                                std::uint32_t w,
-                                                std::uint64_t max_steps) {
-  std::uint32_t worst = 0;
-  for (std::uint32_t victim = 0; victim < n; ++victim) {
-    SimJpSystem sys(n, w, init_value(w));
-    JpInvariantChecker chk(sys);
-    WorkloadConfig cfg;
-    cfg.ops_per_proc = 2000;
-    cfg.vl_percent = 0;
-    SimWorkload<SimJpSystem> wl(std::move(sys), cfg);
-    (void)run_adversarial_anti(wl, chk, victim, w + 8, max_steps);
-    worst = std::max(worst, wl.max_ll_steps());
-  }
-  return worst;
-}
-
-template <>
-std::uint32_t worst_ll_adversarial<SimAmSystem>(std::uint32_t n,
-                                                std::uint32_t w,
-                                                std::uint64_t max_steps) {
-  std::uint32_t worst = 0;
-  for (std::uint32_t victim = 0; victim < n; ++victim) {
-    SimAmSystem sys(n, w, init_value(w));
-    NullChecker chk;
-    WorkloadConfig cfg;
-    cfg.ops_per_proc = 2000;
-    cfg.vl_percent = 0;
-    SimWorkload<SimAmSystem> wl(std::move(sys), cfg);
-    (void)run_adversarial_anti(wl, chk, victim, w + 8, max_steps);
-    worst = std::max(worst, wl.max_ll_steps());
-  }
-  return worst;
-}
-
 }  // namespace
 
-int main() {
-  std::printf(
-      "E9: worst-case LL steps under adversarial schedules (simulator)\n"
-      "wait-free bound for jp/am: 4W+12 steps; retry has no bound\n\n");
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::uint32_t seeds = smoke ? 4 : 10;
+  const std::uint64_t max_steps = smoke ? 30000 : 300000;
 
-  TablePrinter table({"N", "W", "bound 4W+12", "jp worst", "am worst",
-                      "retry worst (starved)"});
-  const std::vector<std::pair<std::uint32_t, std::uint32_t>> grid = {
-      {2, 4}, {3, 4}, {3, 16}, {4, 8}};
+  std::printf(
+      "E9: worst-case LL steps under adversarial schedules (simulator)%s\n"
+      "implemented jp/am bound: (N+3)(W+3)+2W+4 (O(N*W), DESIGN.md #2);\n"
+      "paper full-protocol target: 4W+12 (ROADMAP O(W) tightening);\n"
+      "retry has no bound — its starved column grows with the run length\n\n",
+      smoke ? " [smoke]" : "");
+
+  TablePrinter table({"N", "W", "paper 4W+12", "impl bound", "jp worst",
+                      "am worst", "retry worst (starved)"});
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> grid =
+      smoke ? std::vector<std::pair<std::uint32_t, std::uint32_t>>{{2, 2},
+                                                                   {2, 4}}
+            : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+                  {2, 4}, {3, 4}, {3, 16}, {4, 8}};
   for (const auto& [n, w] : grid) {
-    const std::uint32_t r_rand_jp = worst_ll_random<SimJpSystem>(n, w, 10);
-    const std::uint32_t r_rand_am = worst_ll_random<SimAmSystem>(n, w, 10);
-    const std::uint32_t adv_jp = worst_ll_adversarial<SimJpSystem>(n, w, 300000);
-    const std::uint32_t adv_am = worst_ll_adversarial<SimAmSystem>(n, w, 300000);
+    const std::uint32_t r_rand_jp = worst_ll_random<SimJpSystem>(n, w, seeds);
+    const std::uint32_t r_rand_am = worst_ll_random<SimAmSystem>(n, w, seeds);
+    const std::uint32_t adv_jp =
+        worst_ll_adversarial<SimJpSystem>(n, w, max_steps);
+    const std::uint32_t adv_am =
+        worst_ll_adversarial<SimAmSystem>(n, w, max_steps);
     const std::uint32_t adv_rt =
-        worst_ll_adversarial<SimRetrySystem>(n, w, 300000);
+        worst_ll_adversarial<SimRetrySystem>(n, w, max_steps);
+    const std::uint32_t jp_worst = std::max(r_rand_jp, adv_jp);
+    const std::uint32_t am_worst = std::max(r_rand_am, adv_am);
+    const std::uint32_t bound = SimJpSystem::ll_step_bound(n, w);
+    // Gate each implementation against its own bound (identical formulas
+    // today; the table column shows jp's).
+    if (jp_worst > bound || am_worst > SimAmSystem::ll_step_bound(n, w)) {
+      std::fprintf(stderr,
+                   "BOUND VIOLATION at N=%u W=%u: jp=%u am=%u bound=%u\n", n,
+                   w, jp_worst, am_worst, bound);
+      g_all_ok = false;
+    }
     table.add_row({TablePrinter::num(std::size_t{n}),
                    TablePrinter::num(std::size_t{w}),
                    TablePrinter::num(std::size_t{4 * w + 12}),
-                   TablePrinter::num(std::size_t{std::max(r_rand_jp, adv_jp)}),
-                   TablePrinter::num(std::size_t{std::max(r_rand_am, adv_am)}),
+                   TablePrinter::num(std::size_t{bound}),
+                   TablePrinter::num(std::size_t{jp_worst}),
+                   TablePrinter::num(std::size_t{am_worst}),
                    TablePrinter::num(std::size_t{adv_rt})});
   }
   table.print();
@@ -137,13 +150,13 @@ int main() {
   // Verification-substrate throughput.
   {
     std::printf("\nsimulator characterization:\n");
-    util::Stopwatch sw;
-    SimJpSystem sys(3, 4, init_value(4));
-    JpInvariantChecker chk(sys);
     WorkloadConfig cfg;
-    cfg.ops_per_proc = 20000;
-    SimWorkload<SimJpSystem> wl(std::move(sys), cfg);
+    cfg.ops_per_proc = smoke ? 4000 : 20000;
+    SimWorkload<SimJpSystem> wl(SimJpSystem(3, 4, init_value(4)), cfg);
+    JpInvariantChecker chk(wl.system());
+    util::Stopwatch sw;
     const RunResult r = run_random(wl, chk, 1);
+    note(r, "characterization random");
     const double secs = sw.elapsed_s();
     std::printf(
         "  random schedule: %.2f Msteps/s with full oracle+I1+I2 checking "
@@ -152,19 +165,28 @@ int main() {
         static_cast<unsigned long long>(r.total_steps), r.ok ? 1 : 0);
   }
   {
-    util::Stopwatch sw;
-    SimJpSystem sys(2, 2, init_value(2));
-    JpInvariantChecker chk(sys);
     WorkloadConfig cfg;
     cfg.ops_per_proc = 2;
-    SimWorkload<SimJpSystem> wl(std::move(sys), cfg);
-    const EnumerateResult r = enumerate_preemption_bounded(wl, chk, 2, 100000);
+    SimWorkload<SimJpSystem> wl(SimJpSystem(2, 2, init_value(2)), cfg);
+    JpInvariantChecker chk(wl.system());
+    util::Stopwatch sw;
+    const EnumerateResult r =
+        enumerate_preemption_bounded(wl, chk, 2, 100000);
+    if (!r.ok) {
+      std::fprintf(stderr, "INVARIANT FAILURE (CHESS search): %s\n",
+                   r.error.c_str());
+      g_all_ok = false;
+    }
     const double secs = sw.elapsed_s();
     std::printf(
         "  CHESS search:    %.0f schedules/s, %llu schedules with <=2 "
         "preemptions (ok=%d)\n",
         static_cast<double>(r.schedules_explored) / secs,
         static_cast<unsigned long long>(r.schedules_explored), r.ok ? 1 : 0);
+  }
+  if (!g_all_ok) {
+    std::fprintf(stderr, "\nE9: FAILED — invariant or bound violations\n");
+    return 1;
   }
   return 0;
 }

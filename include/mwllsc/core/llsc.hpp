@@ -12,6 +12,23 @@
 //                   tag: cheaper hardware op, wraps after 2^32 SCs. The
 //                   ablation engine.
 //
+// Operating envelope (tag wrap). The ABA guarantee holds for at most
+// kMaxTag = 2^kTagBits - 1 successful SCs per variable; past that the tag
+// wraps to 0 and a process parked across the full wrap cycle could see a
+// stale link validate ("spurious" SC/VL success). For Dw128LLSC that is
+// 2^64 SCs — over 580 years at 10^9 SCs/s, no practical bound. For
+// Packed64LLSC it is 2^32 SCs — minutes under saturation — so Packed64 is
+// an ablation/short-run engine: long-running deployments must either use
+// Dw128LLSC or retire/reconstruct the variable (epoch reset) before the
+// tag budget is spent. One word inside the envelope is also reserved: the
+// all-ones (value == kValueMask, tag == kMaxTag) packed word is the
+// kUnlinked sentinel, and installing it would make the next LL silently
+// drop its link (spurious SC/VL failure). Debug builds assert on both the
+// wrap and the sentinel; release builds degrade silently (tag arithmetic
+// is masked to kTagBits, so behavior stays defined — only the LL/SC
+// guarantees lapse). The `initial_tag` constructor parameter exists so
+// tests can exercise the boundary without 2^32 warm-up SCs.
+//
 // Per-process link state (the word observed at the last LL) is private to
 // the linking process and padded to its own cache line.
 #pragma once
@@ -33,11 +50,23 @@ class SeqTagLLSC {
  public:
   static constexpr unsigned kValueBits = kValueBitsParam;
   static constexpr unsigned kTagBits = sizeof(Word) * 8 - kValueBitsParam;
+  /// Largest tag value: the engine's ABA budget is kMaxTag successful SCs
+  /// (see the operating-envelope note in the header comment).
+  static constexpr std::uint64_t kMaxTag =
+      kTagBits >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << kTagBits) - 1;
 
-  explicit SeqTagLLSC(std::uint32_t nprocs, std::uint64_t initial = 0)
+  /// `initial_tag` pre-ages the variable for wrap-boundary tests; normal
+  /// construction starts the tag at 0.
+  explicit SeqTagLLSC(std::uint32_t nprocs, std::uint64_t initial = 0,
+                      std::uint64_t initial_tag = 0)
       : links_(new Link[nprocs]), n_(nprocs) {
     assert(nprocs >= 1);
-    cell_.w.store(pack(initial, 0), std::memory_order_relaxed);
+    assert(initial_tag <= kMaxTag);
+    // All-ones is the kUnlinked sentinel; starting there is pathological
+    // (it needs both the maximum tag and the maximum value).
+    assert(pack(initial, initial_tag) != kUnlinked);
+    cell_.w.store(pack(initial, initial_tag), std::memory_order_relaxed);
     for (std::uint32_t p = 0; p < nprocs; ++p) {
       links_[p].seen = kUnlinked;
     }
@@ -57,7 +86,19 @@ class SeqTagLLSC {
     Word expected = links_[p].seen;
     links_[p].seen = kUnlinked;  // the link is consumed either way
     if (expected == kUnlinked) return false;
-    const Word desired = pack(v, tag_of(expected) + 1);
+    // Wrap detection: installing past kMaxTag re-enables ABA (operating
+    // envelope in the header comment). Masked so release builds stay
+    // defined; debug builds refuse to cross silently.
+    const std::uint64_t next_tag = (tag_of(expected) + 1) & kMaxTag;
+    assert(next_tag != 0 &&
+           "SeqTagLLSC tag wrapped: ABA budget exhausted — use Dw128LLSC "
+           "or epoch-reset the variable (see llsc.hpp operating envelope)");
+    const Word desired = pack(v, next_tag);
+    // The all-ones word is the kUnlinked sentinel: installing it would
+    // make the next LL record "no link" and fail spuriously.
+    assert(desired != kUnlinked &&
+           "SeqTagLLSC would install the kUnlinked sentinel (all-ones "
+           "value at the maximum tag — see llsc.hpp operating envelope)");
     return cell_.w.compare_exchange_strong(expected, desired,
                                            std::memory_order_seq_cst,
                                            std::memory_order_relaxed);

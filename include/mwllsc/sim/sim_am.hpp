@@ -1,0 +1,346 @@
+// Step machine for the Anderson–Moir-style baseline (baseline/am_llsc.hpp):
+// same announce/probe schedule as the paper's algorithm, but helping is an
+// O(W) value copy through a per-(helper, helpee) handoff row instead of an
+// O(1) buffer-ownership exchange, and every fast-path LL pays an extra
+// private W-word copy (the value a later successful SC donates from).
+//
+// One step() call is one memory access (W-word copies are W steps — the
+// lastval and handoff copies included, which is exactly the time price the
+// ablation E6(a) measures). Ghost versioning as in sim_jp.hpp: the slot
+// carries the abstract version whose value a donation holds so the oracle
+// can validate helped reads. Wait-free with the same O(N·W) implemented
+// bound as jp; space is O(N^2 W) from the handoff matrix.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/harness.hpp"
+
+namespace mwllsc::sim {
+
+class SimAmSystem {
+ public:
+  SimAmSystem(std::uint32_t nprocs, std::uint32_t words,
+              std::vector<std::uint64_t> init)
+      : n_(nprocs),
+        w_(words),
+        nbufs_(nprocs + 1),
+        buf_(static_cast<std::size_t>(nbufs_) * words, 0),
+        handoff_(static_cast<std::size_t>(nprocs) * nprocs * words, 0),
+        lastval_(static_cast<std::size_t>(nprocs) * words, 0),
+        slot_(nprocs),
+        procs_(nprocs) {
+    assert(nprocs >= 1 && words >= 1 && init.size() == words);
+    x_ = X{0, nprocs, 0};
+    for (std::uint32_t i = 0; i < w_; ++i) buf_row(x_.buf)[i] = init[i];
+    for (std::uint32_t p = 0; p < n_; ++p) procs_[p].spare = p;
+  }
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t w() const { return w_; }
+
+  // ------------------------------------------------------------- workload
+  bool idle(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kIdle;
+  }
+
+  void begin_ll(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kLl;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.tmp.assign(w_, 0);
+    pr.phase = Phase::kLlAnnounce;
+  }
+
+  void begin_sc(std::uint32_t p, std::vector<std::uint64_t> v) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle && v.size() == w_);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kSc;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.rec.had_link = pr.link_valid;
+    if (!pr.link_valid) {
+      pr.phase = Phase::kScFailFast;
+      return;
+    }
+    pr.link_valid = false;
+    pr.rec.value = v;  // ghost: what the oracle expects installed
+    pr.scv = std::move(v);
+    pr.idx = 0;
+    pr.phase = Phase::kScCopyIn;
+  }
+
+  void begin_vl(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kVl;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.rec.had_link = pr.link_valid && pr.linked;
+    pr.phase = Phase::kVl;
+  }
+
+  StepResult step(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase != Phase::kIdle);
+    ++pr.rec.steps;
+    switch (pr.phase) {
+      case Phase::kLlAnnounce:
+        pr.seq += 1;
+        slot_[p] = Slot{kWaiting, 0, pr.seq, 0};
+        pr.phase = Phase::kLlReadX;
+        return {};
+      case Phase::kLlReadX:
+        pr.link = x_;
+        pr.linked = true;
+        pr.idx = 0;
+        pr.phase = Phase::kLlCopy;
+        return {};
+      case Phase::kLlCopy:
+        pr.tmp[pr.idx] = buf_row(pr.link.buf)[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kLlValidate;
+        return {};
+      case Phase::kLlValidate:
+        pr.phase = (x_ == pr.link) ? Phase::kLlWithdraw : Phase::kLlCheckA;
+        return {};
+      case Phase::kLlWithdraw: {
+        Slot& s = slot_[p];
+        if (s.state == kWaiting && s.seq == pr.seq) {
+          s = Slot{kIdle, 0, pr.seq, 0};
+        } else {
+          assert(s.state == kHelped && s.seq == pr.seq);
+          pr.rec.helped = true;  // donated but unused
+        }
+        pr.idx = 0;
+        pr.phase = Phase::kLlSaveLast;
+        return {};
+      }
+      case Phase::kLlSaveLast:
+        // The extra copy: keep the value privately so a later successful
+        // SC can donate it — the am time price E6(a) isolates.
+        last_row(p)[pr.idx] = pr.tmp[pr.idx];
+        if (++pr.idx < w_) return {};
+        pr.ll_buf = pr.link.buf;
+        pr.link_valid = true;
+        pr.rec.success = true;
+        pr.rec.value = pr.tmp;
+        pr.rec.lin_version = pr.link.tag;
+        return complete(pr);
+      case Phase::kLlCheckA: {
+        const Slot s = slot_[p];
+        if (s.state == kHelped && s.seq == pr.seq) {
+          pr.donor = s.donor;
+          pr.ghost_lin = s.ghost_version;
+          pr.idx = 0;
+          pr.phase = Phase::kLlCopyHandoff;
+        } else {
+          pr.phase = Phase::kLlReadX;
+        }
+        return {};
+      }
+      case Phase::kLlCopyHandoff:
+        // The helper's handoff row holds a consistent value and is not
+        // rewritten until we announce again.
+        pr.tmp[pr.idx] = handoff_row(pr.donor, p)[pr.idx];
+        if (++pr.idx < w_) return {};
+        pr.link_valid = false;
+        pr.rec.success = true;
+        pr.rec.helped = true;
+        pr.rec.value = pr.tmp;
+        pr.rec.lin_version = pr.ghost_lin;
+        return complete(pr);
+      case Phase::kScFailFast:
+        pr.rec.success = false;
+        pr.rec.link_version = kNoLink;
+        pr.rec.version_at_sc = x_.tag;
+        return complete(pr);
+      case Phase::kScCopyIn:
+        buf_row(pr.spare)[pr.idx] = pr.scv[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kScProbe;
+        return {};
+      case Phase::kScProbe:
+        pr.target = static_cast<std::uint32_t>((pr.link.tag + 1) % n_);
+        pr.seen = slot_[pr.target];
+        pr.phase = Phase::kScX;
+        return {};
+      case Phase::kScX: {
+        pr.rec.link_version = pr.link.tag;
+        pr.rec.version_at_sc = x_.tag;
+        const bool won = pr.linked && x_ == pr.link;
+        pr.linked = false;
+        if (!won) {
+          pr.rec.success = false;
+          return complete(pr);
+        }
+        x_ = X{p, pr.spare, pr.link.tag + 1};
+        ++sc_success_;
+        pr.spare = pr.ll_buf;  // retire the previously-current buffer
+        ++bank_writes_;
+        pr.rec.success = true;
+        if (pr.target != p && pr.seen.state == kWaiting) {
+          pr.idx = 0;
+          pr.phase = Phase::kScHelpCopy;
+          return {};
+        }
+        return complete(pr);
+      }
+      case Phase::kScHelpCopy:
+        // Copy-based help: O(W) through our handoff row, written before
+        // the CAS (wasted work if the CAS loses).
+        handoff_row(p, pr.target)[pr.idx] = last_row(p)[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kScHelpCas;
+        return {};
+      case Phase::kScHelpCas: {
+        Slot& s = slot_[pr.target];
+        if (s.state == kWaiting && s.seq == pr.seen.seq) {
+          s = Slot{kHelped, p, s.seq, pr.rec.link_version};
+          ++helps_given_;
+        }
+        return complete(pr);
+      }
+      case Phase::kVl:
+        pr.rec.success = pr.link_valid && pr.linked && x_ == pr.link;
+        pr.rec.link_version = pr.rec.had_link ? pr.link.tag : kNoLink;
+        return complete(pr);
+      case Phase::kIdle:
+        break;
+    }
+    assert(false && "step on idle process");
+    return {};
+  }
+
+  // ------------------------------------------------- scheduler / checker
+  bool next_is_validate(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kLlValidate;
+  }
+
+  std::uint32_t steps_in_flight(std::uint32_t p) const {
+    return idle(p) ? 0 : procs_[p].rec.steps;
+  }
+
+  std::uint64_t version() const { return x_.tag; }
+
+  std::vector<std::uint64_t> current_value() const {
+    const std::uint64_t* row = buf_row(x_.buf);
+    return std::vector<std::uint64_t>(row, row + w_);
+  }
+
+  /// Same shape as SimJpSystem::ll_step_bound — am shares the announce/help
+  /// schedule, so its LL is served within the same number of successful
+  /// SCs; the lastval and handoff copies are W-step terms already covered
+  /// by the formula's slack.
+  static std::uint32_t ll_step_bound(std::uint32_t n, std::uint32_t w) {
+    return (n + 3) * (w + 3) + 2 * w + 4;
+  }
+
+  std::uint64_t bank_writes_total() const { return bank_writes_; }
+  std::uint64_t sc_success_total() const { return sc_success_; }
+  std::uint64_t helps_given_total() const { return helps_given_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kLlAnnounce,
+    kLlReadX,
+    kLlCopy,
+    kLlValidate,
+    kLlWithdraw,
+    kLlSaveLast,
+    kLlCheckA,
+    kLlCopyHandoff,
+    kScFailFast,
+    kScCopyIn,
+    kScProbe,
+    kScX,
+    kScHelpCopy,
+    kScHelpCas,
+    kVl,
+  };
+
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kWaiting = 1;
+  static constexpr std::uint8_t kHelped = 2;
+  static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
+
+  struct X {
+    std::uint32_t pid = 0;
+    std::uint32_t buf = 0;
+    std::uint64_t tag = 0;
+    bool operator==(const X& o) const {
+      return pid == o.pid && buf == o.buf && tag == o.tag;
+    }
+  };
+
+  /// Announce word: state + donor pid + seq, plus the oracle's ghost
+  /// version for the handed-off value.
+  struct Slot {
+    std::uint8_t state = kIdle;
+    std::uint32_t donor = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t ghost_version = 0;
+  };
+
+  struct Proc {
+    Phase phase = Phase::kIdle;
+    std::uint32_t spare = 0;
+    std::uint32_t ll_buf = 0;
+    std::uint64_t seq = 0;
+    bool link_valid = false;
+    bool linked = false;
+    X link;
+    OpRecord rec;
+    std::uint32_t idx = 0;
+    std::uint32_t target = 0;
+    std::uint32_t donor = 0;
+    std::uint64_t ghost_lin = 0;
+    Slot seen;
+    std::vector<std::uint64_t> tmp;
+    std::vector<std::uint64_t> scv;
+  };
+
+  StepResult complete(Proc& pr) {
+    pr.rec.end_version = x_.tag;
+    pr.phase = Phase::kIdle;
+    StepResult r;
+    r.completed = true;
+    r.rec = pr.rec;
+    return r;
+  }
+
+  std::uint64_t* buf_row(std::uint32_t b) {
+    return buf_.data() + static_cast<std::size_t>(b) * w_;
+  }
+  const std::uint64_t* buf_row(std::uint32_t b) const {
+    return buf_.data() + static_cast<std::size_t>(b) * w_;
+  }
+  std::uint64_t* handoff_row(std::uint32_t helper, std::uint32_t helpee) {
+    return handoff_.data() +
+           (static_cast<std::size_t>(helper) * n_ + helpee) * w_;
+  }
+  std::uint64_t* last_row(std::uint32_t p) {
+    return lastval_.data() + static_cast<std::size_t>(p) * w_;
+  }
+
+  std::uint32_t n_;
+  std::uint32_t w_;
+  std::uint32_t nbufs_;
+  X x_;
+  std::vector<std::uint64_t> buf_;
+  std::vector<std::uint64_t> handoff_;
+  std::vector<std::uint64_t> lastval_;
+  std::vector<Slot> slot_;
+  std::vector<Proc> procs_;
+  std::uint64_t sc_success_ = 0;
+  std::uint64_t bank_writes_ = 0;
+  std::uint64_t helps_given_ = 0;
+};
+
+}  // namespace mwllsc::sim

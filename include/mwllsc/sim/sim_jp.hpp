@@ -1,0 +1,365 @@
+// Step machine for the paper's algorithm (core/mwllsc.hpp): the same
+// protocol — 2N+1 buffers, announce slots, ownership-exchange helping keyed
+// to X's tag — re-expressed as an explicit state machine so the simulation
+// harness can interleave processes one memory access at a time.
+//
+// One step() call is one memory access of the protocol (copying a W-word
+// buffer is W steps). The machine also carries *ghost* state the real
+// implementation cannot afford: each announce slot remembers the abstract
+// version whose value a donation holds, and each completed op reports its
+// claimed linearization version, so the sequential-spec oracle
+// (invariants.hpp) can validate every value against the unique write that
+// produced it. Ghost state is observational only; it never influences a
+// protocol transition.
+//
+// The abstract version is X's tag: version v's value is whatever the v-th
+// successful SC installed. Invariants exposed to JpInvariantChecker:
+//   I1  every buffer has exactly one owner (current / a spare / an
+//       exchange slot) — current_buf(), spare_of(), exchange_buf_of();
+//   I2  exactly one bank write (Line 13 retire) per successful SC —
+//       bank_writes_total() == sc_success_total() == version().
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/harness.hpp"
+
+namespace mwllsc::sim {
+
+class SimJpSystem {
+ public:
+  SimJpSystem(std::uint32_t nprocs, std::uint32_t words,
+              std::vector<std::uint64_t> init)
+      : n_(nprocs),
+        w_(words),
+        nbufs_(2 * nprocs + 1),
+        buf_(static_cast<std::size_t>(nbufs_) * words, 0),
+        slot_(nprocs),
+        procs_(nprocs) {
+    assert(nprocs >= 1 && words >= 1 && init.size() == words);
+    x_ = X{0, 2 * nprocs, 0};
+    for (std::uint32_t i = 0; i < w_; ++i) buf_row(x_.buf)[i] = init[i];
+    for (std::uint32_t p = 0; p < n_; ++p) {
+      procs_[p].spare = p;
+      procs_[p].xbuf = n_ + p;
+      slot_[p] = Slot{kIdle, n_ + p, 0, 0};
+    }
+  }
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t w() const { return w_; }
+
+  // ------------------------------------------------------------- workload
+  bool idle(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kIdle;
+  }
+
+  void begin_ll(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kLl;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.tmp.assign(w_, 0);
+    pr.phase = Phase::kLlAnnounce;
+  }
+
+  void begin_sc(std::uint32_t p, std::vector<std::uint64_t> v) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle && v.size() == w_);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kSc;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.rec.had_link = pr.link_valid;
+    if (!pr.link_valid) {
+      pr.phase = Phase::kScFailFast;  // O(1) semantic failure
+      return;
+    }
+    pr.link_valid = false;  // the link is consumed either way
+    pr.rec.value = v;       // ghost: what the oracle expects installed
+    pr.scv = std::move(v);
+    pr.idx = 0;
+    pr.phase = Phase::kScCopyIn;
+  }
+
+  void begin_vl(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kVl;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.rec.had_link = pr.link_valid && pr.linked;
+    pr.phase = Phase::kVl;
+  }
+
+  StepResult step(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase != Phase::kIdle);
+    ++pr.rec.steps;
+    switch (pr.phase) {
+      case Phase::kLlAnnounce:
+        pr.seq += 1;
+        slot_[p] = Slot{kWaiting, pr.xbuf, pr.seq, 0};
+        pr.phase = Phase::kLlReadX;
+        return {};
+      case Phase::kLlReadX:
+        pr.link = x_;  // the engine-level LL on X
+        pr.linked = true;
+        pr.idx = 0;
+        pr.phase = Phase::kLlCopy;
+        return {};
+      case Phase::kLlCopy:
+        pr.tmp[pr.idx] = buf_row(pr.link.buf)[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kLlValidate;
+        return {};
+      case Phase::kLlValidate:
+        pr.phase = (x_ == pr.link) ? Phase::kLlWithdraw : Phase::kLlCheckA;
+        return {};
+      case Phase::kLlWithdraw: {
+        // CAS A[p]: WAITING -> IDLE. Failure means a donation raced in
+        // after our validation; the fast-path value still stands (it
+        // linearizes at the validated read), we just adopt the donated
+        // buffer as our new exchange buffer — the donor took ours.
+        Slot& s = slot_[p];
+        if (s.state == kWaiting && s.seq == pr.seq) {
+          s = Slot{kIdle, pr.xbuf, pr.seq, 0};
+        } else {
+          assert(s.state == kHelped && s.seq == pr.seq);
+          pr.xbuf = s.buf;
+          pr.rec.helped = true;
+        }
+        pr.ll_buf = pr.link.buf;
+        pr.link_valid = true;
+        pr.rec.success = true;
+        pr.rec.value = pr.tmp;
+        pr.rec.lin_version = pr.link.tag;
+        return complete(pr);
+      }
+      case Phase::kLlCheckA: {
+        const Slot s = slot_[p];  // Line 4: did a helper serve us?
+        if (s.state == kHelped && s.seq == pr.seq) {
+          pr.dbuf = s.buf;
+          pr.ghost_lin = s.ghost_version;
+          pr.idx = 0;
+          pr.phase = Phase::kLlCopyDonated;
+        } else {
+          pr.phase = Phase::kLlReadX;  // retry the copy
+        }
+        return {};
+      }
+      case Phase::kLlCopyDonated:
+        // Line 7: the donated buffer is privately owned now; no validation.
+        pr.tmp[pr.idx] = buf_row(pr.dbuf)[pr.idx];
+        if (++pr.idx < w_) return {};
+        pr.xbuf = pr.dbuf;
+        pr.link_valid = false;  // a successful SC already intervened
+        pr.rec.success = true;
+        pr.rec.helped = true;
+        pr.rec.value = pr.tmp;
+        pr.rec.lin_version = pr.ghost_lin;
+        return complete(pr);
+      case Phase::kScFailFast:
+        pr.rec.success = false;
+        pr.rec.link_version = kNoLink;
+        pr.rec.version_at_sc = x_.tag;
+        return complete(pr);
+      case Phase::kScCopyIn:
+        buf_row(pr.spare)[pr.idx] = pr.scv[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kScProbe;
+        return {};
+      case Phase::kScProbe:
+        // The winner of tag T+1 probes A[(T+1) mod N]; consecutive
+        // successful SCs sweep every slot.
+        pr.target = static_cast<std::uint32_t>((pr.link.tag + 1) % n_);
+        pr.seen = slot_[pr.target];
+        pr.phase = Phase::kScX;
+        return {};
+      case Phase::kScX: {
+        pr.rec.link_version = pr.link.tag;
+        pr.rec.version_at_sc = x_.tag;
+        const bool won = pr.linked && x_ == pr.link;
+        pr.linked = false;  // the engine link is consumed either way
+        if (!won) {
+          pr.rec.success = false;
+          return complete(pr);
+        }
+        x_ = X{p, pr.spare, pr.link.tag + 1};
+        ++sc_success_;
+        // Line 13, the bank write: retire the previously-current buffer
+        // into our spare slot (I2: exactly one per successful SC).
+        pr.retired = pr.ll_buf;
+        pr.spare = pr.retired;
+        ++bank_writes_;
+        pr.rec.success = true;
+        if (pr.target != p && pr.seen.state == kWaiting) {
+          pr.phase = Phase::kScHelp;
+          return {};
+        }
+        return complete(pr);
+      }
+      case Phase::kScHelp: {
+        // Ownership exchange: CAS A[target] from the exact WAITING word we
+        // probed to HELPED(retired), taking the offered buffer in return.
+        // The retired buffer holds the value that was current the instant
+        // before our SC — abstract version link.tag (ghost).
+        Slot& s = slot_[pr.target];
+        if (s.state == kWaiting && s.seq == pr.seen.seq &&
+            s.buf == pr.seen.buf) {
+          s = Slot{kHelped, pr.retired, s.seq, pr.rec.link_version};
+          pr.spare = pr.seen.buf;
+          ++helps_given_;
+        }
+        return complete(pr);
+      }
+      case Phase::kVl:
+        pr.rec.success = pr.link_valid && pr.linked && x_ == pr.link;
+        pr.rec.link_version = pr.rec.had_link ? pr.link.tag : kNoLink;
+        return complete(pr);
+      case Phase::kIdle:
+        break;
+    }
+    assert(false && "step on idle process");
+    return {};
+  }
+
+  // ------------------------------------------------- scheduler / checker
+  bool next_is_validate(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kLlValidate;
+  }
+
+  std::uint32_t steps_in_flight(std::uint32_t p) const {
+    return idle(p) ? 0 : procs_[p].rec.steps;
+  }
+
+  std::uint64_t version() const { return x_.tag; }
+
+  std::vector<std::uint64_t> current_value() const {
+    const std::uint64_t* row = buf_row(x_.buf);
+    return std::vector<std::uint64_t>(row, row + w_);
+  }
+
+  /// Worst-case LL steps of the *implemented* protocol (DESIGN.md §2): the
+  /// announce (1), at most N+2 failed copy attempts plus the final one,
+  /// each costing read-X + W-word copy + validate + announce check (W+3),
+  /// and the helped exit's W-word donated copy — O(N·W), against the
+  /// paper's full-protocol O(W) target of 4W+12.
+  static std::uint32_t ll_step_bound(std::uint32_t n, std::uint32_t w) {
+    return (n + 3) * (w + 3) + 2 * w + 4;
+  }
+
+  std::uint32_t num_bufs() const { return nbufs_; }
+  std::uint32_t current_buf() const { return x_.buf; }
+  std::uint32_t spare_of(std::uint32_t p) const { return procs_[p].spare; }
+
+  /// The buffer process p owns through its exchange side: the slot's buffer
+  /// while an announce/donation is posted, else the private xbuf (which the
+  /// slot's stale IDLE word mirrors).
+  std::uint32_t exchange_buf_of(std::uint32_t p) const {
+    const Slot& s = slot_[p];
+    return s.state == kIdle ? procs_[p].xbuf : s.buf;
+  }
+
+  std::uint64_t bank_writes_total() const { return bank_writes_; }
+  std::uint64_t sc_success_total() const { return sc_success_; }
+  std::uint64_t helps_given_total() const { return helps_given_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kLlAnnounce,
+    kLlReadX,
+    kLlCopy,
+    kLlValidate,
+    kLlWithdraw,
+    kLlCheckA,
+    kLlCopyDonated,
+    kScFailFast,
+    kScCopyIn,
+    kScProbe,
+    kScX,
+    kScHelp,
+    kVl,
+  };
+
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kWaiting = 1;
+  static constexpr std::uint8_t kHelped = 2;
+  static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
+
+  /// The 1-word LL/SC variable X: descriptor <pid, buf> plus the sequence
+  /// tag, which doubles as the abstract version.
+  struct X {
+    std::uint32_t pid = 0;
+    std::uint32_t buf = 0;
+    std::uint64_t tag = 0;
+    bool operator==(const X& o) const {
+      return pid == o.pid && buf == o.buf && tag == o.tag;
+    }
+  };
+
+  /// Announce slot plus ghost: the abstract version whose value a donated
+  /// buffer holds (set by the donor, read only by the oracle).
+  struct Slot {
+    std::uint8_t state = kIdle;
+    std::uint32_t buf = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t ghost_version = 0;
+  };
+
+  struct Proc {
+    Phase phase = Phase::kIdle;
+    // Durable protocol state.
+    std::uint32_t spare = 0;
+    std::uint32_t xbuf = 0;
+    std::uint32_t ll_buf = 0;
+    std::uint64_t seq = 0;
+    bool link_valid = false;
+    bool linked = false;
+    X link;
+    // In-flight op state.
+    OpRecord rec;
+    std::uint32_t idx = 0;
+    std::uint32_t target = 0;
+    std::uint32_t dbuf = 0;
+    std::uint32_t retired = 0;
+    std::uint64_t ghost_lin = 0;
+    Slot seen;
+    std::vector<std::uint64_t> tmp;
+    std::vector<std::uint64_t> scv;
+  };
+
+  StepResult complete(Proc& pr) {
+    pr.rec.end_version = x_.tag;
+    pr.phase = Phase::kIdle;
+    StepResult r;
+    r.completed = true;
+    r.rec = pr.rec;
+    return r;
+  }
+
+  std::uint64_t* buf_row(std::uint32_t b) {
+    return buf_.data() + static_cast<std::size_t>(b) * w_;
+  }
+  const std::uint64_t* buf_row(std::uint32_t b) const {
+    return buf_.data() + static_cast<std::size_t>(b) * w_;
+  }
+
+  std::uint32_t n_;
+  std::uint32_t w_;
+  std::uint32_t nbufs_;
+  X x_;
+  std::vector<std::uint64_t> buf_;
+  std::vector<Slot> slot_;
+  std::vector<Proc> procs_;
+  std::uint64_t sc_success_ = 0;
+  std::uint64_t bank_writes_ = 0;
+  std::uint64_t helps_given_ = 0;
+};
+
+}  // namespace mwllsc::sim

@@ -1,0 +1,223 @@
+// Step machine for the lock-free retry strawman (baseline/retry_llsc.hpp):
+// no announce, no helping. SC is a 1-word SC on the descriptor; LL retries
+// its W-word copy until a validation passes — so an adversarial scheduler
+// can invalidate a reader forever, and steps_in_flight(victim) grows
+// without bound under run_adversarial_anti. This machine is the unbounded
+// contrast E9 measures jp/am against; it intentionally has no
+// ll_step_bound.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/harness.hpp"
+
+namespace mwllsc::sim {
+
+class SimRetrySystem {
+ public:
+  SimRetrySystem(std::uint32_t nprocs, std::uint32_t words,
+                 std::vector<std::uint64_t> init)
+      : n_(nprocs),
+        w_(words),
+        nbufs_(nprocs + 1),
+        buf_(static_cast<std::size_t>(nbufs_) * words, 0),
+        procs_(nprocs) {
+    assert(nprocs >= 1 && words >= 1 && init.size() == words);
+    x_ = X{0, nprocs, 0};
+    for (std::uint32_t i = 0; i < w_; ++i) buf_row(x_.buf)[i] = init[i];
+    for (std::uint32_t p = 0; p < n_; ++p) procs_[p].spare = p;
+  }
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t w() const { return w_; }
+
+  // ------------------------------------------------------------- workload
+  bool idle(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kIdle;
+  }
+
+  void begin_ll(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kLl;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.tmp.assign(w_, 0);
+    pr.phase = Phase::kLlReadX;
+  }
+
+  void begin_sc(std::uint32_t p, std::vector<std::uint64_t> v) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle && v.size() == w_);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kSc;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.rec.had_link = pr.link_valid;
+    if (!pr.link_valid) {
+      pr.phase = Phase::kScFailFast;
+      return;
+    }
+    pr.link_valid = false;
+    pr.rec.value = v;  // ghost: what the oracle expects installed
+    pr.scv = std::move(v);
+    pr.idx = 0;
+    pr.phase = Phase::kScCopyIn;
+  }
+
+  void begin_vl(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase == Phase::kIdle);
+    pr.rec = OpRecord{};
+    pr.rec.type = OpType::kVl;
+    pr.rec.pid = p;
+    pr.rec.start_version = x_.tag;
+    pr.rec.had_link = pr.link_valid && pr.linked;
+    pr.phase = Phase::kVl;
+  }
+
+  StepResult step(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.phase != Phase::kIdle);
+    ++pr.rec.steps;
+    switch (pr.phase) {
+      case Phase::kLlReadX:
+        pr.link = x_;
+        pr.linked = true;
+        pr.idx = 0;
+        pr.phase = Phase::kLlCopy;
+        return {};
+      case Phase::kLlCopy:
+        pr.tmp[pr.idx] = buf_row(pr.link.buf)[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kLlValidate;
+        return {};
+      case Phase::kLlValidate:
+        if (x_ == pr.link) {
+          pr.ll_buf = pr.link.buf;
+          pr.link_valid = true;
+          pr.rec.success = true;
+          pr.rec.value = pr.tmp;
+          pr.rec.lin_version = pr.link.tag;
+          return complete(pr);
+        }
+        pr.phase = Phase::kLlReadX;  // unbounded: lock-free, not wait-free
+        return {};
+      case Phase::kScFailFast:
+        pr.rec.success = false;
+        pr.rec.link_version = kNoLink;
+        pr.rec.version_at_sc = x_.tag;
+        return complete(pr);
+      case Phase::kScCopyIn:
+        buf_row(pr.spare)[pr.idx] = pr.scv[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kScX;
+        return {};
+      case Phase::kScX: {
+        pr.rec.link_version = pr.link.tag;
+        pr.rec.version_at_sc = x_.tag;
+        const bool won = pr.linked && x_ == pr.link;
+        pr.linked = false;
+        if (!won) {
+          pr.rec.success = false;
+          return complete(pr);
+        }
+        x_ = X{p, pr.spare, pr.link.tag + 1};
+        ++sc_success_;
+        pr.spare = pr.ll_buf;
+        pr.rec.success = true;
+        return complete(pr);
+      }
+      case Phase::kVl:
+        pr.rec.success = pr.link_valid && pr.linked && x_ == pr.link;
+        pr.rec.link_version = pr.rec.had_link ? pr.link.tag : kNoLink;
+        return complete(pr);
+      case Phase::kIdle:
+        break;
+    }
+    assert(false && "step on idle process");
+    return {};
+  }
+
+  // ------------------------------------------------- scheduler / checker
+  bool next_is_validate(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kLlValidate;
+  }
+
+  std::uint32_t steps_in_flight(std::uint32_t p) const {
+    return idle(p) ? 0 : procs_[p].rec.steps;
+  }
+
+  std::uint64_t version() const { return x_.tag; }
+
+  std::vector<std::uint64_t> current_value() const {
+    const std::uint64_t* row = buf_row(x_.buf);
+    return std::vector<std::uint64_t>(row, row + w_);
+  }
+
+  std::uint64_t sc_success_total() const { return sc_success_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kLlReadX,
+    kLlCopy,
+    kLlValidate,
+    kScFailFast,
+    kScCopyIn,
+    kScX,
+    kVl,
+  };
+
+  static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
+
+  struct X {
+    std::uint32_t pid = 0;
+    std::uint32_t buf = 0;
+    std::uint64_t tag = 0;
+    bool operator==(const X& o) const {
+      return pid == o.pid && buf == o.buf && tag == o.tag;
+    }
+  };
+
+  struct Proc {
+    Phase phase = Phase::kIdle;
+    std::uint32_t spare = 0;
+    std::uint32_t ll_buf = 0;
+    bool link_valid = false;
+    bool linked = false;
+    X link;
+    OpRecord rec;
+    std::uint32_t idx = 0;
+    std::vector<std::uint64_t> tmp;
+    std::vector<std::uint64_t> scv;
+  };
+
+  StepResult complete(Proc& pr) {
+    pr.rec.end_version = x_.tag;
+    pr.phase = Phase::kIdle;
+    StepResult r;
+    r.completed = true;
+    r.rec = pr.rec;
+    return r;
+  }
+
+  std::uint64_t* buf_row(std::uint32_t b) {
+    return buf_.data() + static_cast<std::size_t>(b) * w_;
+  }
+  const std::uint64_t* buf_row(std::uint32_t b) const {
+    return buf_.data() + static_cast<std::size_t>(b) * w_;
+  }
+
+  std::uint32_t n_;
+  std::uint32_t w_;
+  std::uint32_t nbufs_;
+  X x_;
+  std::vector<std::uint64_t> buf_;
+  std::vector<Proc> procs_;
+  std::uint64_t sc_success_ = 0;
+};
+
+}  // namespace mwllsc::sim
