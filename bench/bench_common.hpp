@@ -6,10 +6,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "baseline/am_llsc.hpp"
@@ -112,6 +116,81 @@ struct MixedResult {
   double reader_mops = 0;
   double writer_mops = 0;
   core::OpStatsSnapshot stats;
+};
+
+// ------------------------------------------------------------------------
+// Recorded perf trajectory (BENCH_*.json).
+//
+// Benches accept `--json <path>` and emit a flat machine-readable snapshot
+// instead of (or besides) their human tables, so each PR's numbers are a
+// diffable artifact rather than an anecdote. The format is deliberately
+// minimal: {"bench": ..., "schema": ..., "rows": [{k: v, ...}, ...]}.
+
+/// Value of `--flag <value>` in argv, or "" if absent.
+inline std::string arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+/// True if `flag` appears in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Append-style JSON snapshot writer: begin_row(), then field() calls, then
+/// write(). Strings are assumed not to need escaping (impl/op names).
+class JsonEmitter {
+ public:
+  JsonEmitter(std::string bench, std::string schema)
+      : bench_(std::move(bench)), schema_(std::move(schema)) {}
+
+  void begin_row() { rows_.emplace_back(); }
+
+  void field(const char* k, const std::string& v) {
+    rows_.back().emplace_back(k, "\"" + v + "\"");
+  }
+  void field(const char* k, const char* v) { field(k, std::string(v)); }
+  void field(const char* k, double v) {
+    char b[64];
+    std::snprintf(b, sizeof(b), "%.6g", v);
+    rows_.back().emplace_back(k, b);
+  }
+  void field(const char* k, std::uint64_t v) {
+    char b[32];
+    std::snprintf(b, sizeof(b), "%llu", static_cast<unsigned long long>(v));
+    rows_.back().emplace_back(k, b);
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": \"%s\",\n",
+                 bench_.c_str(), schema_.c_str());
+    std::fprintf(f, "  \"unix_time\": %lld,\n",
+                 static_cast<long long>(std::time(nullptr)));
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                     rows_[r][i].first.c_str(), rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string schema_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
 inline MixedResult run_mixed_throughput(core::IMwLLSC& obj, unsigned threads,

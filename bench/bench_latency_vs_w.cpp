@@ -6,14 +6,22 @@
 // W-word copies dominate); VL stays flat. AM's SC carries the extra
 // help-copy overhead.
 //
-// Run: ./bench_latency_vs_w
+// Run: ./bench_latency_vs_w                 google-benchmark tables
+//      ./bench_latency_vs_w --json PATH     perf-trajectory snapshot
+//        [--smoke]                          reduced grid for CI
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/am_llsc.hpp"
 #include "baseline/lock_llsc.hpp"
+#include "bench_common.hpp"
 #include "core/mwllsc.hpp"
+#include "util/timing.hpp"
 
 using namespace mwllsc;
 
@@ -92,4 +100,87 @@ BENCHMARK_TEMPLATE(BM_LLSC_Pair, Lock)
 BENCHMARK_TEMPLATE(BM_VL, JP128)->RangeMultiplier(16)->Range(kMinW, kMaxW);
 BENCHMARK_TEMPLATE(BM_VL, AM128)->RangeMultiplier(16)->Range(kMinW, kMaxW);
 
-BENCHMARK_MAIN();
+namespace {
+
+// --json mode: a plain stopwatch sweep over the same shapes, written as a
+// BENCH_*.json snapshot (the recorded perf trajectory — see bench_common).
+// Uses the IMwLLSC facade so every implementation runs identical driver
+// code; the google-benchmark path above stays the precision instrument.
+void json_sweep_impl(bench::JsonEmitter& out, const std::string& impl,
+                     std::uint32_t w, std::uint64_t iters) {
+  auto obj = bench::factory_by_name(impl).make(2, w);
+  std::vector<std::uint64_t> value(w);
+
+  util::Stopwatch sw;
+  for (std::uint64_t i = 0; i < iters; ++i) obj->ll(0, value.data());
+  const double ll_ns = sw.elapsed_s() * 1e9 / static_cast<double>(iters);
+
+  sw.reset();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    obj->ll(0, value.data());
+    value[0] += 1;
+    obj->sc(0, value.data());
+  }
+  const double pair_ns = sw.elapsed_s() * 1e9 / static_cast<double>(iters);
+
+  obj->ll(0, value.data());
+  sw.reset();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const bool ok = obj->vl(0);
+    benchmark::DoNotOptimize(ok);
+  }
+  const double vl_ns = sw.elapsed_s() * 1e9 / static_cast<double>(iters);
+
+  const auto s = obj->stats();
+  for (const auto& [op, ns] :
+       {std::pair<const char*, double>{"ll", ll_ns},
+        {"llsc_pair", pair_ns},
+        {"vl", vl_ns}}) {
+    out.begin_row();
+    out.field("impl", impl);
+    out.field("op", op);
+    out.field("w", std::uint64_t{w});
+    out.field("ns_per_op", ns);
+  }
+  // The jp protocol must never take its defensive retry arm.
+  if (impl == "jp" && s.ll_retries != 0) {
+    std::fprintf(stderr, "jp took %llu defensive LL retries at W=%u\n",
+                 static_cast<unsigned long long>(s.ll_retries), w);
+    std::exit(1);
+  }
+}
+
+int run_json_sweep(const std::string& path, bool smoke) {
+  const std::vector<std::uint32_t> ws =
+      smoke ? std::vector<std::uint32_t>{1, 4, 16}
+            : std::vector<std::uint32_t>{1, 4, 16, 64, 256, 1024};
+  bench::JsonEmitter out("latency_vs_w",
+                         "uncontended single-thread latency; LL/SC O(W), "
+                         "VL O(1); jp LL bound 4W+12 steps");
+  for (const std::uint32_t w : ws) {
+    const std::uint64_t iters =
+        (smoke ? 200000u : 2000000u) / (w + 16) + 1000;
+    for (const char* impl : {"jp", "am", "retry", "lock"}) {
+      json_sweep_impl(out, impl, w, iters);
+    }
+  }
+  if (!out.write(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::arg_value(argc, argv, "--json");
+  if (!json.empty()) {
+    return run_json_sweep(json, bench::has_flag(argc, argv, "--smoke"));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

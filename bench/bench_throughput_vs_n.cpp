@@ -7,8 +7,11 @@
 // low contention but collapses for readers under write storms (see E8), and
 // lock serializes.
 //
-// Run: ./bench_throughput_vs_n
+// Run: ./bench_throughput_vs_n                 human tables
+//      ./bench_throughput_vs_n --json PATH     perf-trajectory snapshot
+//        [--smoke]                             reduced grid for CI
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
@@ -16,7 +19,47 @@
 using namespace mwllsc;
 using util::TablePrinter;
 
-int main() {
+namespace {
+
+// --json mode: the same rmw workload, written as a BENCH_*.json snapshot
+// (the recorded perf trajectory — see bench_common.hpp).
+int run_json_sweep(const std::string& path, bool smoke) {
+  const std::uint64_t duration_ns = smoke ? 50'000'000 : 250'000'000;
+  const auto threads = bench::scaling_thread_counts(smoke ? 2 : 0);
+  const std::vector<std::uint32_t> ws =
+      smoke ? std::vector<std::uint32_t>{4} : std::vector<std::uint32_t>{4, 16, 64};
+  bench::JsonEmitter out("throughput_vs_n",
+                         "contended { LL; modify; SC } pairs, million/s, "
+                         "one shared W-word object");
+  for (const std::uint32_t w : ws) {
+    for (const unsigned t : threads) {
+      for (auto& f : bench::all_factories()) {
+        auto obj = f.make(t, w);
+        const auto r = bench::run_rmw_throughput(*obj, t, duration_ns);
+        out.begin_row();
+        out.field("impl", f.name);
+        out.field("threads", std::uint64_t{t});
+        out.field("w", std::uint64_t{w});
+        out.field("mops", r.mops);
+        out.field("sc_success_rate", r.sc_success_rate);
+      }
+    }
+  }
+  if (!out.write(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::arg_value(argc, argv, "--json");
+  if (!json.empty()) {
+    return run_json_sweep(json, bench::has_flag(argc, argv, "--smoke"));
+  }
   constexpr std::uint64_t kDurationNs = 250'000'000;  // 250 ms per cell
   const auto threads = bench::scaling_thread_counts();
   auto factories = bench::all_factories();

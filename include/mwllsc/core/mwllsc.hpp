@@ -1,48 +1,63 @@
 // The paper's wait-free N-process W-word LL/SC variable, built from a
-// single-word LL/SC building block (core/llsc.hpp).
+// single-word LL/SC building block (core/llsc.hpp) — full protocol: LL
+// completes in at most 4W+12 memory accesses regardless of N (Theorem 1's
+// O(W) bound), SC in O(W), VL in O(1), with O(NW) shared space.
 //
-// Layout. The W-word value always lives in one of 2N+1 buffers. The 1-word
-// LL/SC variable X holds the descriptor <pid, buf>: which buffer is current
-// and who installed it. Every process owns two buffers at all times: a
-// *spare* it writes its next SC value into, and an *exchange* buffer it
-// offers through its announce slot. The remaining buffer is current.
+// Layout. The W-word value always lives in one of 2N+R+1 buffers, where
+// R = max(2, P) and P is N rounded up to a power of two. Process p owns a
+// *spare* it writes its next SC value into and an *exchange* buffer it
+// offers through its announce slot (and reuses as help-copy scratch). R
+// buffers rest in the global *retirement ring*; the remaining buffer is
+// current. The 1-word LL/SC variable X holds the descriptor <pid, buf>;
+// its sequence tag is the abstract version: tag T's value is whatever the
+// T-th successful SC installed.
 //
-// Fast path. LL(p) announces, then reads X, copies the current buffer and
-// validates X; if X did not move, the copy is a consistent snapshot
-// (buffers are recycled only after an intervening successful SC, which
-// would change X's tag). SC(p) writes its spare, then does a 1-word SC on
-// X; on success the previously-current buffer is retired and becomes p's
-// new spare — the "bank" pointer write of Line 13, exactly one per
-// successful SC (invariant I2).
+// Fast path with aged validation. LL(p) announces, links X (tag T, buffer
+// b), copies b, then re-reads X's tag: the snapshot is accepted if the tag
+// advanced by AT MOST P. This is safe because retired buffers pass through
+// the ring and are only reused once at least R >= P further SCs have
+// succeeded: a buffer current at tag T is not rewritten until the global
+// tag exceeds T+P, and any rewrite concurrent with the copy forces the
+// validation to observe drift > P and reject. A snapshot accepted with
+// drift in [1, P] is still exactly version T's value and linearizes at the
+// link instant; only drift 0 leaves the SC link intact (link_valid).
 //
-// Helping (announce / ownership exchange). A copy loop can starve under a
-// write storm, so LL(p) first publishes <WAITING, exchange-buf, seq> in its
-// announce slot A[p]. Every SC, *before* its 1-word SC on X, probes one
-// announce slot chosen by the tag it is about to install: the winner of tag
-// T+1 probes A[(T+1) mod N]. On success it donates the retired buffer —
-// which holds the value that was current the instant before its SC — by
-// CASing A[p] from the exact WAITING word to <HELPED, retired-buf, seq>,
-// taking the offered exchange buffer in return. The exchange is O(1): no
-// value is copied, only buffer ownership moves (invariant I1: every buffer
-// has exactly one owner — current, a spare, or an exchange slot). Because
-// successful SCs install consecutive tags, the round-robin probe schedule
-// guarantees a WAITING process is served within N+1 successful SCs, so
-// LL(p) completes in at most N+3 copy attempts: wait-free with an
-// O(N + W + N*min(W, N)) step bound. (The paper's full protocol sharpens
-// this to O(W); see DESIGN.md for the delta.)
+// Help path, pre-SC. If validation fails (drift >= P+1), at least P
+// successful SCs linked X *after* p's announce. The winner installing tag
+// U probes announce slot U mod P before its SC, so those P consecutive
+// winners sweep every slot including p's; a prober that finds p WAITING
+// copies the current buffer into its own exchange buffer, re-validates its
+// link (strict: the copy is untorn and the value is current at an instant
+// inside p's LL — the prober wins its SC, so its link held throughout),
+// and CASes A[p] from the exact WAITING word to <HELPED, copy, seq>,
+// taking p's offered exchange buffer in return. Because the mark lands
+// before the helper's SC installs, it is complete before p's validation
+// can fail — so a failed validation finds HELPED already posted, and LL
+// finishes by copying the donated buffer: announce (1) + link (1) + copy
+// (W) + validate (1) + check A[p] (1) + donated copy (W) = 2W+4 <= 4W+12
+// accesses, with no retry loop at all. (A defensive retry remains for
+// robustness; tests assert it never fires.)
 //
-// Linearization. A fast-path LL linearizes at its validated read of X; a
-// helped LL linearizes immediately before the donor's successful SC — the
-// donor probed A[p] after p announced and before its SC, so that instant
-// lies within p's LL. A helped LL therefore returns with its link already
-// broken: VL reports false and SC fails in O(1), which is semantically
-// exact (a successful SC intervened).
+// Retirement ring. A successful SC retires the previously-current buffer
+// into ring cell (T+1) mod R — <buf, tag T+1> — taking the cell's old
+// buffer (aged by >= R-1 intervening SCs) as its new spare. Writers that
+// stall so long they get lapped (the cell's tag moved ahead of theirs)
+// keep their own retiree, which the lapping itself aged. All tags in a
+// cell are congruent mod R, the CAS retries at most N times (each failure
+// is a distinct slower winner resolving), and exactly one ring resolution
+// — the "bank write" of invariant I2 — happens per successful SC.
 //
-// Memory ordering. Buffer words are relaxed atomics; the copy is validated
-// seqlock-style (acquire fence before the X re-check) and publication rides
-// X's seq_cst SC. Donated buffers need no validation: ownership transfer
-// makes them private to the reader, and their contents are visible through
-// the donor's release chain (value writer -> X -> donor -> A[p] -> reader).
+// Linearization. A fast-path LL linearizes at its X link; a helped LL at
+// the donor's help-validation instant (inside p's LL window). A helped or
+// drifted LL returns with its link broken: VL reports false and SC fails
+// in O(1), which is semantically exact — a successful SC intervened.
+//
+// Memory ordering. Buffer words are relaxed atomics; both the reader copy
+// and the helper copy are validated seqlock-style (acquire fence before
+// the tag re-check / link re-validation); donated contents are published
+// by the helper's seq_cst mark CAS and need no reader-side validation —
+// ownership transfer makes the buffer private to the reader. ABA on the
+// announce word is bounded by the 44-bit seq; ring tags carry 46 bits.
 #pragma once
 
 #include <atomic>
@@ -66,31 +81,49 @@ class MwLLSC {
   MwLLSC(std::uint32_t nprocs, std::uint32_t words)
       : n_(nprocs),
         w_(words),
-        nbufs_(2 * nprocs + 1),
-        x_(nprocs, pack_x(0, 2 * nprocs)),
-        buf_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
-            2 * nprocs + 1) * words]),
+        p2_(next_pow2(nprocs)),
+        ring_size_(p2_ < 2 ? 2 : p2_),
+        nbufs_(2 * nprocs + ring_size_ + 1),
+        stride_((words + 7) & ~7u),
+        x_(nprocs, pack_x(0, 2 * nprocs + ring_size_)),
+        raw_buf_(new std::atomic<std::uint64_t>[
+            static_cast<std::size_t>(2 * nprocs + ring_size_ + 1) *
+                ((words + 7) & ~7u) + 7]),
+        ring_(new RingCell[ring_size_]),
         announce_(new AnnounceSlot[nprocs]),
         priv_(new Priv[nprocs]),
         stats_(nprocs) {
     assert(nprocs >= 1 && nprocs <= kMaxProcs);
     assert(words >= 1);
-    for (std::size_t i = 0; i < static_cast<std::size_t>(nbufs_) * w_; ++i) {
-      buf_[i].store(0, std::memory_order_relaxed);
+    // Align buffer row 0 to a cache line so the stride padding isolates
+    // rows from each other (the false-sharing fix E2/E3 measure).
+    auto addr = reinterpret_cast<std::uintptr_t>(raw_buf_.get());
+    buf0_ = raw_buf_.get() + ((64 - (addr & 63)) & 63) / sizeof(std::uint64_t);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(nbufs_) * stride_;
+         ++i) {
+      buf0_[i].store(0, std::memory_order_relaxed);
     }
-    // Buffer 2N is current (holding the all-zero initial value); process p
-    // owns spare p and exchange buffer N+p.
+    // Buffer 2N+R is current (all-zero initial value); process p owns
+    // spare p and exchange buffer N+p; ring cell j seeds buffer 2N+j with
+    // tag j-R (mod 2^46), already "aged" for the first real lap.
     for (std::uint32_t p = 0; p < n_; ++p) {
       priv_[p].spare = p;
       priv_[p].xbuf = n_ + p;
       announce_[p].a.store(pack_a(kIdle, n_ + p, 0),
                            std::memory_order_relaxed);
     }
+    for (std::uint32_t j = 0; j < ring_size_; ++j) {
+      const std::uint64_t seed_tag =
+          (std::uint64_t{j} - ring_size_) & kRingTagMask;
+      ring_[j].w.store(pack_ring(2 * n_ + j, seed_tag),
+                       std::memory_order_relaxed);
+    }
   }
 
   void ll(std::uint32_t p, std::uint64_t* out) {
     assert(p < n_);
     Priv& me = priv_[p];
+    auto& c = stats_.at(p);
     me.seq = (me.seq + 1) & kSeqMask;  // the announce word holds 44 bits
     // Announce, offering our exchange buffer to a prospective helper.
     announce_[p].a.store(pack_a(kWaiting, me.xbuf, me.seq),
@@ -98,44 +131,50 @@ class MwLLSC {
     hook("ll:announced", p);
     for (;;) {
       const std::uint64_t x = x_.ll(p);
+      const std::uint64_t t0 = x_.linked_tag(p);
       const std::uint32_t b = buf_of_x(x);
       hook("ll:read_x", p);
       copy_out(b, out);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (x_.vl(p)) {
-        // Fast path: the snapshot is consistent. Withdraw the announce.
+      const std::uint64_t drift = x_.current_tag() - t0;
+      if (drift <= p2_) {
+        // Aged validation passed: buffers rest >= R >= P tags in the ring
+        // before reuse, so the copy is an untorn snapshot of version t0,
+        // linearized at the link. Withdraw the announce.
         std::uint64_t expect = pack_a(kWaiting, me.xbuf, me.seq);
         if (!announce_[p].a.compare_exchange_strong(
                 expect, pack_a(kIdle, me.xbuf, me.seq),
                 std::memory_order_seq_cst)) {
-          // A donation raced in after our validate. The fast-path value
-          // stands (it linearizes at the validated read, which preceded
-          // the donor's SC); just adopt the donated buffer as our new
-          // exchange buffer — the donor took the one we offered.
+          // A donation raced in. The fast-path value stands; adopt the
+          // donated buffer as our new exchange buffer — the donor took
+          // the one we offered.
           assert(state_of_a(expect) == kHelped && seq_of_a(expect) == me.seq);
           me.xbuf = buf_of_a(expect);
-          stats_.at(p).bump(stats_.at(p).ll_helped);
+          c.bump(c.ll_helped);
         }
         me.ll_buf = b;
-        me.link_valid = true;
-        stats_.at(p).bump(stats_.at(p).ll_ops);
+        me.link_valid = (drift == 0);  // any drift already broke the link
+        c.bump(c.ll_ops);
         return;
       }
-      // Line 4: did a helper hand us a consistent value?
+      // Drift >= P+1: the P winners that linked after our announce swept
+      // every announce slot pre-SC, so a donation is already posted.
       const std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
       if (state_of_a(a) == kHelped && seq_of_a(a) == me.seq) {
-        // Line 7: return the donated snapshot. We own the buffer now; no
+        // Return the donated snapshot. We own the buffer now; no
         // validation needed.
         const std::uint32_t d = buf_of_a(a);
         copy_out(d, out);
         me.xbuf = d;
         me.link_valid = false;  // a successful SC already intervened
-        auto& c = stats_.at(p);
         c.bump(c.ll_helped);
         c.bump(c.ll_used_helped_value);
         c.bump(c.ll_ops);
         return;
       }
+      // Unreachable if the help guarantee holds (tests assert this
+      // counter stays zero); kept as a defensive retry.
+      c.bump(c.ll_retries);
       hook("ll:retry", p);
     }
   }
@@ -145,38 +184,72 @@ class MwLLSC {
     Priv& me = priv_[p];
     auto& c = stats_.at(p);
     c.bump(c.sc_ops);
-    if (!me.link_valid) return false;  // helped LL or no LL: O(1) failure
+    if (!me.link_valid) return false;  // helped/drifted LL or no LL: O(1)
     me.link_valid = false;             // the link is consumed either way
     // Write the new value into our spare buffer.
     copy_in(me.spare, v);
     std::atomic_thread_fence(std::memory_order_release);
     hook("sc:wrote_spare", p);
-    // Probe the help schedule *before* the SC: the winner of tag T+1 reads
-    // A[(T+1) mod N], so consecutive winners sweep all slots, and any
-    // donation it later makes is for an announce that preceded its SC.
+    const std::uint64_t t = x_.linked_tag(p);
+    // Probe the help schedule *before* the SC: the winner of tag T+1
+    // reads A[(T+1) mod P] (P a power of two — mask, no division), so
+    // consecutive winners sweep all slots after any announce.
     const std::uint32_t target =
-        static_cast<std::uint32_t>((x_.linked_tag(p) + 1) % n_);
-    std::uint64_t seen = announce_[target].a.load(std::memory_order_seq_cst);
-    if (!x_.sc(p, pack_x(p, me.spare))) return false;
-    c.bump(c.sc_success);
-    // Line 13, the bank write: retire the previously-current buffer (the
-    // one our LL observed) into our spare slot. Invariant I2: exactly one
-    // such write per successful SC.
-    const std::uint32_t retired = me.ll_buf;
-    me.spare = retired;
-    c.bump(c.bank_writes);
-    if (target != p && state_of_a(seen) == kWaiting) {
-      // Ownership exchange: donate the retired buffer — it holds the value
-      // that was current until our SC an instant ago — and take the
-      // exchange buffer the waiting process offered.
-      const std::uint64_t donated =
-          pack_a(kHelped, retired, seq_of_a(seen));
-      if (announce_[target].a.compare_exchange_strong(
-              seen, donated, std::memory_order_seq_cst)) {
-        me.spare = buf_of_a(seen);
-        c.bump(c.helps_given);
+        static_cast<std::uint32_t>(t + 1) & (p2_ - 1);
+    if (target != p && target < n_) {
+      const std::uint64_t seen =
+          announce_[target].a.load(std::memory_order_seq_cst);
+      if (state_of_a(seen) == kWaiting) {
+        hook("sc:probed", p);
+        // Pre-SC help: copy the (still linked) current buffer into our
+        // exchange buffer, re-validate the link seqlock-style — if it
+        // holds, the copy is an untorn snapshot of version T taken after
+        // the target announced — and donate it by marking A[target].
+        copy_buf(me.ll_buf, me.xbuf);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (x_.vl(p)) {
+          std::uint64_t expect = seen;
+          if (announce_[target].a.compare_exchange_strong(
+                  expect, pack_a(kHelped, me.xbuf, seq_of_a(seen)),
+                  std::memory_order_seq_cst)) {
+            me.xbuf = buf_of_a(seen);  // ownership exchange, O(1)
+            c.bump(c.helps_given);
+            hook("sc:help_marked", p);
+          }
+        }
       }
     }
+    if (!x_.sc(p, pack_x(p, me.spare))) return false;
+    c.bump(c.sc_success);
+    // The bank write: retire the previously-current buffer through the
+    // aged ring (I2: exactly one resolution per successful SC).
+    const std::uint32_t retired = me.ll_buf;
+    const std::uint64_t mytag = (t + 1) & kRingTagMask;
+    RingCell& cell = ring_[static_cast<std::uint32_t>(t + 1) & (ring_size_ - 1)];
+    for (;;) {
+      const std::uint64_t rw = cell.w.load(std::memory_order_acquire);
+      const std::uint64_t d = (mytag - ring_tag_of(rw)) & kRingTagMask;
+      // All tags in a cell are congruent mod R, so d is a multiple of R:
+      // d >= R with the high bits clear means the cell is genuinely
+      // behind us — swap our retiree in and take the aged buffer out.
+      if (d >= ring_size_ && !(d >> (kRingTagBits - 1))) {
+        std::uint64_t expect = rw;
+        if (cell.w.compare_exchange_strong(expect, pack_ring(retired, mytag),
+                                           std::memory_order_seq_cst)) {
+          me.spare = ring_buf_of(rw);
+          break;
+        }
+        // Lost to another winner resolving this cell; re-read (bounded:
+        // each failure is a distinct winner with a smaller tag).
+      } else {
+        // Lapped: the cell moved past our tag while we stalled, so our
+        // own retiree has already aged >= R tags — keep it as the spare.
+        me.spare = retired;
+        break;
+      }
+    }
+    c.bump(c.bank_writes);
+    hook("sc:retired", p);
     return true;
   }
 
@@ -195,8 +268,10 @@ class MwLLSC {
   util::Footprint footprint() const {
     util::Footprint f;
     f.add("X descriptor (1-word LL/SC)", x_.shared_bytes());
-    f.add("value buffers ((2N+1) x W words)",
-          static_cast<std::size_t>(nbufs_) * w_ * sizeof(std::uint64_t));
+    f.add("value buffers ((2N+R+1) x W words, rows line-padded)",
+          static_cast<std::size_t>(nbufs_) * stride_ * sizeof(std::uint64_t) +
+              64);  // + alignment slack
+    f.add("retirement ring (R cells)", ring_size_ * sizeof(RingCell));
     f.add("announce/help slots (N)", n_ * sizeof(AnnounceSlot));
     f.add("per-process state (private)",
           n_ * sizeof(Priv) + x_.private_bytes() + stats_.bytes());
@@ -241,8 +316,32 @@ class MwLLSC {
   }
   static std::uint64_t seq_of_a(std::uint64_t a) { return a >> 20; }
 
+  // Ring cell word: buf(18) | tag(46). The tag's 2^46 envelope bounds ABA
+  // the same way the announce seq does.
+  static constexpr std::uint32_t kRingTagBits = 46;
+  static constexpr std::uint64_t kRingTagMask =
+      (std::uint64_t{1} << kRingTagBits) - 1;
+
+  static std::uint64_t pack_ring(std::uint32_t buf, std::uint64_t tag) {
+    return (tag << kBufBits) | buf;
+  }
+  static std::uint32_t ring_buf_of(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r & ((1u << kBufBits) - 1));
+  }
+  static std::uint64_t ring_tag_of(std::uint64_t r) { return r >> kBufBits; }
+
+  static std::uint32_t next_pow2(std::uint32_t v) {
+    std::uint32_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
   struct alignas(64) AnnounceSlot {
     std::atomic<std::uint64_t> a;
+  };
+
+  struct alignas(64) RingCell {
+    std::atomic<std::uint64_t> w;
   };
 
   struct alignas(64) Priv {  // touched only by the owning process
@@ -254,7 +353,7 @@ class MwLLSC {
   };
 
   std::atomic<std::uint64_t>* buf_row(std::uint32_t b) const {
-    return buf_.get() + static_cast<std::size_t>(b) * w_;
+    return buf0_ + static_cast<std::size_t>(b) * stride_;
   }
 
   void copy_out(std::uint32_t b, std::uint64_t* out) const {
@@ -271,15 +370,29 @@ class MwLLSC {
     }
   }
 
+  void copy_buf(std::uint32_t from, std::uint32_t to) {
+    const std::atomic<std::uint64_t>* src = buf_row(from);
+    std::atomic<std::uint64_t>* dst = buf_row(to);
+    for (std::uint32_t i = 0; i < w_; ++i) {
+      dst[i].store(src[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+  }
+
   void hook(const char* point, std::uint32_t pid) {
     if (hook_) hook_(hook_ctx_, point, pid);
   }
 
   const std::uint32_t n_;
   const std::uint32_t w_;
+  const std::uint32_t p2_;        ///< N rounded up to a power of two (P)
+  const std::uint32_t ring_size_; ///< R = max(2, P), a power of two
   const std::uint32_t nbufs_;
+  const std::uint32_t stride_;    ///< buffer row pitch, words (line-padded)
   LLSC x_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> buf_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> raw_buf_;
+  std::atomic<std::uint64_t>* buf0_ = nullptr;  ///< 64B-aligned row 0
+  std::unique_ptr<RingCell[]> ring_;
   std::unique_ptr<AnnounceSlot[]> announce_;
   std::unique_ptr<Priv[]> priv_;
   util::OpStatsArray stats_;

@@ -75,6 +75,7 @@ struct EnumerateResult {
   std::string error;
   std::uint64_t schedules_explored = 0;  ///< complete executions reached
   std::uint64_t total_steps = 0;         ///< step() calls across the search
+  std::uint32_t max_ll_steps = 0;  ///< worst completed LL across schedules
   bool truncated = false;                ///< hit the schedule budget
 };
 
@@ -260,11 +261,14 @@ RunResult run_adversarial_anti(SimWorkload<System>& wl, Checker& chk,
       if (detail::bail(chk, res)) goto out;
     }
     if (wl.proc_done(victim)) break;  // the victim survived its whole script
-    // Adversary slice: writers run until a successful SC moves the version.
+    // Adversary slice: writers run until enough successful SCs land to
+    // doom the victim's validation (doom_delta: 1 for strict validation,
+    // P+1 for the jp protocol's aged validation).
     {
       const std::uint64_t v0 = sys.version();
       bool progressed = false;
-      while (sys.version() == v0 && wl.total_steps() < max_steps) {
+      while (sys.version() - v0 < sys.doom_delta() &&
+             wl.total_steps() < max_steps) {
         std::uint32_t q = n;
         for (std::uint32_t i = 1; i <= n; ++i) {
           const std::uint32_t c = (rr + i) % n;
@@ -283,7 +287,8 @@ RunResult run_adversarial_anti(SimWorkload<System>& wl, Checker& chk,
         // Degenerate (N==1 or writers exhausted): the victim runs alone.
         wl.step(victim, chk);
         if (detail::bail(chk, res)) goto out;
-      } else if (sys.version() != v0 && sys.next_is_validate(victim)) {
+      } else if (sys.version() - v0 >= sys.doom_delta() &&
+                 sys.next_is_validate(victim)) {
         // Only validate once an SC has actually landed; if the step
         // budget ran out mid-slice the validation would *succeed* and
         // hand the victim a completion the adversary never conceded.
@@ -330,6 +335,9 @@ struct Enumerator {
       if (stop) return;
       if (wl.done()) {
         ++res.schedules_explored;
+        if (wl.max_ll_steps() > res.max_ll_steps) {
+          res.max_ll_steps = wl.max_ll_steps();
+        }
         if (res.schedules_explored >= max_schedules) {
           res.truncated = true;
           stop = true;

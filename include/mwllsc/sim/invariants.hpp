@@ -11,9 +11,12 @@
 //   * JpInvariantChecker  the paper's structural invariants on the jp
 //     step machine plus a sequential-spec linearizability oracle:
 //       I1      every buffer has exactly one owner: the object (current),
-//               a process's spare, or a process's exchange side;
-//       I2      exactly one bank write (the Line 13 retire) per
-//               successful SC;
+//               a process's spare, a process's exchange side, or a
+//               retirement-ring cell;
+//       I2      exactly one bank write (the ring retirement) per
+//               successful SC, counting the in-flight resolutions;
+//       4W+12   no LL exceeds the paper's step bound and the defensive
+//               retry arm never fires (the help guarantee holds);
 //       oracle  every LL returns the abstract value of its claimed
 //               linearization version, which lies inside the op's
 //               invocation/response window; SC succeeds iff no successful
@@ -48,7 +51,10 @@ struct NullChecker {
 class JpInvariantChecker {
  public:
   explicit JpInvariantChecker(const SimJpSystem& sys)
-      : n_(sys.n()), nbufs_(sys.num_bufs()) {
+      : n_(sys.n()),
+        w_(sys.w()),
+        nbufs_(sys.num_bufs()),
+        ring_size_(sys.ring_size()) {
     history_.push_back(sys.current_value());
   }
 
@@ -67,6 +73,11 @@ class JpInvariantChecker {
     }
     check_i1(sys);
     check_i2(sys);
+    if (sys.ll_retries_total() > 0) {
+      return fail("defensive LL retry fired at step %llu — the 4W+12 "
+                  "help guarantee is broken",
+                  ull(steps_seen_));
+    }
   }
 
   void on_op(const SimJpSystem& sys, const OpRecord& rec) {
@@ -74,6 +85,11 @@ class JpInvariantChecker {
     (void)sys;
     switch (rec.type) {
       case OpType::kLl: {
+        if (rec.steps > SimJpSystem::ll_step_bound(n_, w_)) {
+          return fail("LL(p%u) took %u steps, over the 4W+12 bound of %u",
+                      rec.pid, rec.steps,
+                      SimJpSystem::ll_step_bound(n_, w_));
+        }
         if (rec.lin_version < rec.start_version ||
             rec.lin_version > rec.end_version) {
           return fail(
@@ -142,11 +158,14 @@ class JpInvariantChecker {
       bump_owner(sys.spare_of(p));
       bump_owner(sys.exchange_buf_of(p));
     }
+    for (std::uint32_t j = 0; j < ring_size_; ++j) {
+      bump_owner(sys.ring_buf(j));
+    }
     for (std::uint32_t b = 0; b < nbufs_; ++b) {
       if (owners_[b] != 1) {
         return fail("I1 violated at step %llu: buffer %u has %d owners "
-                    "(want exactly 1: current, a spare, or an exchange "
-                    "slot)",
+                    "(want exactly 1: current, a spare, an exchange "
+                    "slot, or a ring cell)",
                     ull(steps_seen_), b, owners_[b]);
       }
     }
@@ -161,12 +180,17 @@ class JpInvariantChecker {
   }
 
   void check_i2(const SimJpSystem& sys) {
-    if (sys.bank_writes_total() != sys.version() ||
+    // The ring resolution is its own step after the X SC, so completed
+    // plus in-flight bank writes must exactly cover the successful SCs.
+    if (sys.bank_writes_total() + sys.pending_bank_writes() !=
+            sys.version() ||
         sys.sc_success_total() != sys.version()) {
-      fail("I2 violated at step %llu: %llu bank writes, %llu successful "
-           "SCs, version %llu (want one bank write per successful SC)",
+      fail("I2 violated at step %llu: %llu+%llu bank writes "
+           "(done+pending), %llu successful SCs, version %llu (want one "
+           "bank write per successful SC)",
            ull(steps_seen_), ull(sys.bank_writes_total()),
-           ull(sys.sc_success_total()), ull(sys.version()));
+           ull(sys.pending_bank_writes()), ull(sys.sc_success_total()),
+           ull(sys.version()));
     }
   }
 
@@ -180,7 +204,9 @@ class JpInvariantChecker {
   }
 
   std::uint32_t n_;
+  std::uint32_t w_;
   std::uint32_t nbufs_;
+  std::uint32_t ring_size_;
   std::uint64_t steps_seen_ = 0;
   bool failed_ = false;
   std::string error_;

@@ -1,7 +1,8 @@
-// Step machine for the paper's algorithm (core/mwllsc.hpp): the same
-// protocol — 2N+1 buffers, announce slots, ownership-exchange helping keyed
-// to X's tag — re-expressed as an explicit state machine so the simulation
-// harness can interleave processes one memory access at a time.
+// Step machine for the paper's full protocol (core/mwllsc.hpp): 2N+R+1
+// buffers, aged seqlock validation (accept drift <= P), pre-SC helping
+// through the announce slots keyed to X's tag mod P, and the aged
+// retirement ring — re-expressed as an explicit state machine so the
+// simulation harness can interleave processes one memory access at a time.
 //
 // One step() call is one memory access of the protocol (copying a W-word
 // buffer is W steps). The machine also carries *ghost* state the real
@@ -15,9 +16,14 @@
 // The abstract version is X's tag: version v's value is whatever the v-th
 // successful SC installed. Invariants exposed to JpInvariantChecker:
 //   I1  every buffer has exactly one owner (current / a spare / an
-//       exchange slot) — current_buf(), spare_of(), exchange_buf_of();
-//   I2  exactly one bank write (Line 13 retire) per successful SC —
-//       bank_writes_total() == sc_success_total() == version().
+//       exchange side / a ring cell) — current_buf(), spare_of(),
+//       exchange_buf_of(), ring_buf();
+//   I2  exactly one bank write (ring retirement) per successful SC —
+//       bank_writes_total() + pending_bank_writes() == sc_success_total()
+//       == version() (the ring resolution is its own step after the X SC,
+//       so it may lag the version by the in-flight retirements);
+//   4W+12  no LL takes more steps than the paper's bound, and the
+//       defensive retry arm never fires (ll_retries_total() == 0).
 #pragma once
 
 #include <cassert>
@@ -35,17 +41,26 @@ class SimJpSystem {
               std::vector<std::uint64_t> init)
       : n_(nprocs),
         w_(words),
-        nbufs_(2 * nprocs + 1),
+        p2_(next_pow2(nprocs)),
+        ring_size_(p2_ < 2 ? 2 : p2_),
+        nbufs_(2 * nprocs + ring_size_ + 1),
         buf_(static_cast<std::size_t>(nbufs_) * words, 0),
         slot_(nprocs),
+        ring_(ring_size_),
         procs_(nprocs) {
     assert(nprocs >= 1 && words >= 1 && init.size() == words);
-    x_ = X{0, 2 * nprocs, 0};
+    x_ = X{0, 2 * nprocs + ring_size_, 0};
     for (std::uint32_t i = 0; i < w_; ++i) buf_row(x_.buf)[i] = init[i];
     for (std::uint32_t p = 0; p < n_; ++p) {
       procs_[p].spare = p;
       procs_[p].xbuf = n_ + p;
       slot_[p] = Slot{kIdle, n_ + p, 0, 0};
+    }
+    // Ring cell j seeds buffer 2N+j, already aged a full lap (tag j-R; the
+    // sim's tags are unbounded 64-bit, so "j-R" wraps mod 2^64 for j < R
+    // and the swap condition handles it like the real 46-bit envelope).
+    for (std::uint32_t j = 0; j < ring_size_; ++j) {
+      ring_[j] = RingCell{2 * n_ + j, std::uint64_t{j} - ring_size_};
     }
   }
 
@@ -119,46 +134,61 @@ class SimJpSystem {
         if (++pr.idx == w_) pr.phase = Phase::kLlValidate;
         return {};
       case Phase::kLlValidate:
-        pr.phase = (x_ == pr.link) ? Phase::kLlWithdraw : Phase::kLlCheckA;
+        // Aged validation: the snapshot stands if the tag advanced at most
+        // P — ring aging guarantees the linked buffer was not rewritten.
+        pr.drift = x_.tag - pr.link.tag;
+        pr.phase = (pr.drift <= p2_) ? Phase::kLlWithdraw : Phase::kLlCheckA;
         return {};
       case Phase::kLlWithdraw: {
         // CAS A[p]: WAITING -> IDLE. Failure means a donation raced in
         // after our validation; the fast-path value still stands (it
-        // linearizes at the validated read), we just adopt the donated
-        // buffer as our new exchange buffer — the donor took ours.
+        // linearizes at the link), we just adopt the donated buffer as
+        // our new exchange buffer — the donor took ours.
         Slot& s = slot_[p];
         if (s.state == kWaiting && s.seq == pr.seq) {
           s = Slot{kIdle, pr.xbuf, pr.seq, 0};
         } else {
           assert(s.state == kHelped && s.seq == pr.seq);
           pr.xbuf = s.buf;
+          // Fold the slot retirement into the adopt: a stale HELPED word is
+          // protocol-inert (probes want WAITING, marks CAS the exact word),
+          // but the exchange-side ownership census reads the slot while it
+          // is not IDLE, so it must mirror the adopted buffer from here on.
+          s = Slot{kIdle, pr.xbuf, pr.seq, 0};
           pr.rec.helped = true;
         }
         pr.ll_buf = pr.link.buf;
-        pr.link_valid = true;
+        pr.link_valid = (pr.drift == 0);  // any drift already broke the link
+        ++ll_fast_;
         pr.rec.success = true;
         pr.rec.value = pr.tmp;
         pr.rec.lin_version = pr.link.tag;
         return complete(pr);
       }
       case Phase::kLlCheckA: {
-        const Slot s = slot_[p];  // Line 4: did a helper serve us?
+        // Drift >= P+1: the P winners that linked after our announce have
+        // swept every slot pre-SC, so HELPED must already be posted.
+        const Slot s = slot_[p];
         if (s.state == kHelped && s.seq == pr.seq) {
           pr.dbuf = s.buf;
           pr.ghost_lin = s.ghost_version;
           pr.idx = 0;
           pr.phase = Phase::kLlCopyDonated;
         } else {
-          pr.phase = Phase::kLlReadX;  // retry the copy
+          ++ll_retries_;  // defensive only; the checker flags this
+          pr.phase = Phase::kLlReadX;
         }
         return {};
       }
       case Phase::kLlCopyDonated:
-        // Line 7: the donated buffer is privately owned now; no validation.
+        // The donated buffer is privately owned now; no validation.
         pr.tmp[pr.idx] = buf_row(pr.dbuf)[pr.idx];
         if (++pr.idx < w_) return {};
         pr.xbuf = pr.dbuf;
+        // Retire the HELPED word (see kLlWithdraw: census correctness).
+        slot_[p] = Slot{kIdle, pr.xbuf, pr.seq, 0};
         pr.link_valid = false;  // a successful SC already intervened
+        ++ll_helped_;
         pr.rec.success = true;
         pr.rec.helped = true;
         pr.rec.value = pr.tmp;
@@ -174,16 +204,50 @@ class SimJpSystem {
         if (++pr.idx == w_) pr.phase = Phase::kScProbe;
         return {};
       case Phase::kScProbe:
-        // The winner of tag T+1 probes A[(T+1) mod N]; consecutive
-        // successful SCs sweep every slot.
-        pr.target = static_cast<std::uint32_t>((pr.link.tag + 1) % n_);
-        pr.seen = slot_[pr.target];
+        // The winner of tag T+1 probes A[(T+1) mod P] — P consecutive
+        // winners sweep every slot. Probing our own slot (we cannot be
+        // WAITING) or a dummy index >= N skips the help arm.
+        pr.target =
+            static_cast<std::uint32_t>(pr.link.tag + 1) & (p2_ - 1);
+        if (pr.target != p && pr.target < n_ &&
+            slot_[pr.target].state == kWaiting) {
+          pr.seen = slot_[pr.target];
+          pr.idx = 0;
+          pr.phase = Phase::kScHelpCopy;
+        } else {
+          pr.phase = Phase::kScX;
+        }
+        return {};
+      case Phase::kScHelpCopy:
+        // Pre-SC help: copy the linked current buffer into our exchange
+        // buffer (scratch we own — we are not inside our own LL here).
+        buf_row(pr.xbuf)[pr.idx] = buf_row(pr.link.buf)[pr.idx];
+        if (++pr.idx == w_) pr.phase = Phase::kScHelpValidate;
+        return {};
+      case Phase::kScHelpValidate:
+        // Strict re-validation: if X still matches our link, the copy is
+        // an untorn snapshot of version link.tag, taken after the target
+        // announced (we probed after linking... after the announce).
+        pr.phase = (x_.tag == pr.link.tag) ? Phase::kScHelpMark : Phase::kScX;
+        return {};
+      case Phase::kScHelpMark: {
+        // Ownership exchange: CAS A[target] from the exact WAITING word we
+        // probed to HELPED(our copy), taking the offered buffer in return.
+        // Ghost: the donated value is version link.tag's.
+        Slot& s = slot_[pr.target];
+        if (s.state == kWaiting && s.seq == pr.seen.seq &&
+            s.buf == pr.seen.buf) {
+          s = Slot{kHelped, pr.xbuf, s.seq, pr.link.tag};
+          pr.xbuf = pr.seen.buf;
+          ++helps_given_;
+        }
         pr.phase = Phase::kScX;
         return {};
+      }
       case Phase::kScX: {
         pr.rec.link_version = pr.link.tag;
         pr.rec.version_at_sc = x_.tag;
-        const bool won = pr.linked && x_ == pr.link;
+        const bool won = pr.linked && x_.tag == pr.link.tag;
         pr.linked = false;  // the engine link is consumed either way
         if (!won) {
           pr.rec.success = false;
@@ -191,34 +255,40 @@ class SimJpSystem {
         }
         x_ = X{p, pr.spare, pr.link.tag + 1};
         ++sc_success_;
-        // Line 13, the bank write: retire the previously-current buffer
-        // into our spare slot (I2: exactly one per successful SC).
+        // Retirement starts: the previously-current buffer is provisionally
+        // our spare until the ring swap resolves (keeps I1 exact while the
+        // bank write is in flight).
         pr.retired = pr.ll_buf;
         pr.spare = pr.retired;
-        ++bank_writes_;
         pr.rec.success = true;
-        if (pr.target != p && pr.seen.state == kWaiting) {
-          pr.phase = Phase::kScHelp;
-          return {};
-        }
-        return complete(pr);
+        pr.phase = Phase::kScSwapRead;
+        return {};
       }
-      case Phase::kScHelp: {
-        // Ownership exchange: CAS A[target] from the exact WAITING word we
-        // probed to HELPED(retired), taking the offered buffer in return.
-        // The retired buffer holds the value that was current the instant
-        // before our SC — abstract version link.tag (ghost).
-        Slot& s = slot_[pr.target];
-        if (s.state == kWaiting && s.seq == pr.seen.seq &&
-            s.buf == pr.seen.buf) {
-          s = Slot{kHelped, pr.retired, s.seq, pr.rec.link_version};
-          pr.spare = pr.seen.buf;
-          ++helps_given_;
+      case Phase::kScSwapRead:
+        pr.seen_ring = ring_[ring_cell_of(pr.link.tag + 1)];
+        pr.phase = Phase::kScSwapCas;
+        return {};
+      case Phase::kScSwapCas: {
+        // The bank write: swap our retiree into cell (T+1) mod R if the
+        // cell is genuinely behind us; if we got lapped, our retiree has
+        // already aged >= R tags and stays our spare.
+        const std::uint64_t mytag = pr.link.tag + 1;
+        RingCell& cell = ring_[ring_cell_of(mytag)];
+        const std::uint64_t d = mytag - pr.seen_ring.tag;
+        if (d >= ring_size_ && !(d >> 63)) {
+          if (cell.buf == pr.seen_ring.buf && cell.tag == pr.seen_ring.tag) {
+            pr.spare = cell.buf;
+            cell = RingCell{pr.retired, mytag};
+          } else {
+            pr.phase = Phase::kScSwapRead;  // lost the CAS; re-read
+            return {};
+          }
         }
+        ++bank_writes_;
         return complete(pr);
       }
       case Phase::kVl:
-        pr.rec.success = pr.link_valid && pr.linked && x_ == pr.link;
+        pr.rec.success = pr.link_valid && pr.linked && x_.tag == pr.link.tag;
         pr.rec.link_version = pr.rec.had_link ? pr.link.tag : kNoLink;
         return complete(pr);
       case Phase::kIdle:
@@ -233,6 +303,10 @@ class SimJpSystem {
     return procs_[p].phase == Phase::kLlValidate;
   }
 
+  /// Version advances a doomed validation needs: the adversary must land
+  /// P+1 successful SCs past the victim's link to defeat aged validation.
+  std::uint64_t doom_delta() const { return p2_ + 1; }
+
   std::uint32_t steps_in_flight(std::uint32_t p) const {
     return idle(p) ? 0 : procs_[p].rec.steps;
   }
@@ -244,13 +318,12 @@ class SimJpSystem {
     return std::vector<std::uint64_t>(row, row + w_);
   }
 
-  /// Worst-case LL steps of the *implemented* protocol (DESIGN.md §2): the
-  /// announce (1), at most N+2 failed copy attempts plus the final one,
-  /// each costing read-X + W-word copy + validate + announce check (W+3),
-  /// and the helped exit's W-word donated copy — O(N·W), against the
-  /// paper's full-protocol O(W) target of 4W+12.
-  static std::uint32_t ll_step_bound(std::uint32_t n, std::uint32_t w) {
-    return (n + 3) * (w + 3) + 2 * w + 4;
+  /// The paper's Theorem 1 bound, now the implemented one: announce (1) +
+  /// link (1) + W-word copy + aged validate (1) + announce check (1) +
+  /// donated W-word copy = 2W+4 steps worst case, comfortably within the
+  /// claimed 4W+12 — independent of N.
+  static std::uint32_t ll_step_bound(std::uint32_t /*n*/, std::uint32_t w) {
+    return 4 * w + 12;
   }
 
   std::uint32_t num_bufs() const { return nbufs_; }
@@ -265,9 +338,28 @@ class SimJpSystem {
     return s.state == kIdle ? procs_[p].xbuf : s.buf;
   }
 
+  std::uint32_t ring_size() const { return ring_size_; }
+  std::uint32_t ring_buf(std::uint32_t j) const { return ring_[j].buf; }
+  std::uint32_t probe_window() const { return p2_; }
+
   std::uint64_t bank_writes_total() const { return bank_writes_; }
   std::uint64_t sc_success_total() const { return sc_success_; }
   std::uint64_t helps_given_total() const { return helps_given_; }
+  std::uint64_t ll_fast_total() const { return ll_fast_; }
+  std::uint64_t ll_helped_total() const { return ll_helped_; }
+  std::uint64_t ll_retries_total() const { return ll_retries_; }
+
+  /// Successful SCs whose ring retirement has not resolved yet (their
+  /// owner sits between the X step and the swap CAS).
+  std::uint64_t pending_bank_writes() const {
+    std::uint64_t pending = 0;
+    for (const Proc& pr : procs_) {
+      if (pr.phase == Phase::kScSwapRead || pr.phase == Phase::kScSwapCas) {
+        ++pending;
+      }
+    }
+    return pending;
+  }
 
  private:
   enum class Phase : std::uint8_t {
@@ -282,8 +374,12 @@ class SimJpSystem {
     kScFailFast,
     kScCopyIn,
     kScProbe,
+    kScHelpCopy,
+    kScHelpValidate,
+    kScHelpMark,
     kScX,
-    kScHelp,
+    kScSwapRead,
+    kScSwapCas,
     kVl,
   };
 
@@ -292,15 +388,22 @@ class SimJpSystem {
   static constexpr std::uint8_t kHelped = 2;
   static constexpr std::uint64_t kNoLink = ~std::uint64_t{0};
 
+  static std::uint32_t next_pow2(std::uint32_t v) {
+    std::uint32_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::uint32_t ring_cell_of(std::uint64_t tag) const {
+    return static_cast<std::uint32_t>(tag) & (ring_size_ - 1);
+  }
+
   /// The 1-word LL/SC variable X: descriptor <pid, buf> plus the sequence
   /// tag, which doubles as the abstract version.
   struct X {
     std::uint32_t pid = 0;
     std::uint32_t buf = 0;
     std::uint64_t tag = 0;
-    bool operator==(const X& o) const {
-      return pid == o.pid && buf == o.buf && tag == o.tag;
-    }
   };
 
   /// Announce slot plus ghost: the abstract version whose value a donated
@@ -310,6 +413,11 @@ class SimJpSystem {
     std::uint32_t buf = 0;
     std::uint64_t seq = 0;
     std::uint64_t ghost_version = 0;
+  };
+
+  struct RingCell {
+    std::uint32_t buf = 0;
+    std::uint64_t tag = 0;
   };
 
   struct Proc {
@@ -328,8 +436,10 @@ class SimJpSystem {
     std::uint32_t target = 0;
     std::uint32_t dbuf = 0;
     std::uint32_t retired = 0;
+    std::uint64_t drift = 0;
     std::uint64_t ghost_lin = 0;
     Slot seen;
+    RingCell seen_ring;
     std::vector<std::uint64_t> tmp;
     std::vector<std::uint64_t> scv;
   };
@@ -352,14 +462,20 @@ class SimJpSystem {
 
   std::uint32_t n_;
   std::uint32_t w_;
+  std::uint32_t p2_;        ///< N rounded up to a power of two (P)
+  std::uint32_t ring_size_; ///< R = max(2, P), a power of two
   std::uint32_t nbufs_;
   X x_;
   std::vector<std::uint64_t> buf_;
   std::vector<Slot> slot_;
+  std::vector<RingCell> ring_;
   std::vector<Proc> procs_;
   std::uint64_t sc_success_ = 0;
   std::uint64_t bank_writes_ = 0;
   std::uint64_t helps_given_ = 0;
+  std::uint64_t ll_fast_ = 0;
+  std::uint64_t ll_helped_ = 0;
+  std::uint64_t ll_retries_ = 0;
 };
 
 }  // namespace mwllsc::sim

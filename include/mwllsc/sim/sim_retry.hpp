@@ -146,6 +146,9 @@ class SimRetrySystem {
     return procs_[p].phase == Phase::kLlValidate;
   }
 
+  /// Strict validation: a single successful SC dooms a pending validate.
+  std::uint64_t doom_delta() const { return 1; }
+
   std::uint32_t steps_in_flight(std::uint32_t p) const {
     return idle(p) ? 0 : procs_[p].rec.steps;
   }

@@ -31,6 +31,8 @@ struct OpStatsSnapshot {
   std::uint64_t ll_used_helped_value = 0;
   std::uint64_t helps_given = 0;
   std::uint64_t bank_writes = 0;
+  std::uint64_t ll_retries = 0;  ///< defensive LL retries; 0 if the 4W+12
+                                 ///< help guarantee holds (tests assert it)
 
   OpStatsSnapshot& operator+=(const OpStatsSnapshot& o) {
     ll_ops += o.ll_ops;
@@ -41,6 +43,7 @@ struct OpStatsSnapshot {
     ll_used_helped_value += o.ll_used_helped_value;
     helps_given += o.helps_given;
     bank_writes += o.bank_writes;
+    ll_retries += o.ll_retries;
     return *this;
   }
 };
@@ -60,6 +63,7 @@ struct alignas(64) OpStatsCell {
   std::atomic<std::uint64_t> ll_used_helped_value{0};
   std::atomic<std::uint64_t> helps_given{0};
   std::atomic<std::uint64_t> bank_writes{0};
+  std::atomic<std::uint64_t> ll_retries{0};
 
   void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
@@ -86,6 +90,7 @@ class OpStatsArray {
           c.ll_used_helped_value.load(std::memory_order_relaxed);
       s.helps_given += c.helps_given.load(std::memory_order_relaxed);
       s.bank_writes += c.bank_writes.load(std::memory_order_relaxed);
+      s.ll_retries += c.ll_retries.load(std::memory_order_relaxed);
     }
     return s;
   }

@@ -1,12 +1,23 @@
-// Deterministic exercise of the helping machinery, via the step hook: a
-// reader announces and reads X, then — before its copy can validate — the
-// hook drives another process through successful SCs until the help
-// schedule's round-robin probe lands on the reader's announce slot. The
-// reader's LL must then return the donated snapshot (the value current the
-// instant before the donating SC), with the helped/rescue/help-install
-// counters each firing exactly once, and the object must stay fully
-// functional afterwards (the ownership exchange preserved the buffer
-// accounting).
+// Deterministic exercise of the full protocol's help machinery, via the
+// step hook. With N = 2 the probe window is P = 2, so aged validation
+// tolerates a drift of up to 2 successful SCs; the hook stalls a reader
+// right after it links X and drives the other process through a chosen
+// number of successful SCs:
+//
+//   1 SC  -> drift 1: aged validation passes, no donation was posted (the
+//            winner of tag 1 probes its own slot), the reader returns the
+//            buffer it linked — still intact, the ring has not recycled it;
+//   2 SCs -> drift 2: aged validation passes, but the winner of tag 2
+//            probed slot 0 and donated pre-SC, so the reader's withdraw
+//            CAS fails and it adopts the donated buffer (ll_helped without
+//            ll_used_helped_value);
+//   3 SCs -> drift 3 > P: validation fails and the reader must find the
+//            donation already posted (the 4W+12 guarantee), returning the
+//            value that was current at the donor's help validation — what
+//            the donor's own LL read before its donating SC.
+//
+// In every case the object must stay fully functional afterwards: the
+// ownership exchanges preserved the buffer accounting.
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -23,8 +34,9 @@ constexpr std::uint32_t kW = 4;
 template <class Engine>
 struct HookState {
   core::MwLLSC<Engine>* obj = nullptr;
+  std::uint32_t sc_rounds = 0;  // successful SCs to inject at ll:read_x
   bool fired = false;
-  std::vector<std::uint64_t> before_donating_sc;  // value the rescue returns
+  std::vector<std::uint64_t> before_donating_sc;  // value a rescue returns
 };
 
 template <class Engine>
@@ -33,49 +45,63 @@ void interfere(void* ctx, const char* point, std::uint32_t pid) {
   if (st->fired || pid != 0) return;
   if (std::strcmp(point, "ll:read_x") != 0) return;
   st->fired = true;  // no reentrant interference from pid 1's own ops
-  // With N = 2 the winner of tag T+1 probes slot (T+1) mod 2, so two
-  // successful SCs by pid 1 are guaranteed to sweep slot 0. The donated
-  // buffer is the one retired by the *last* successful SC before the probe
-  // hit, i.e. it carries the value installed by the previous SC.
+  // The winner of tag U probes slot U mod 2: tags 1 and 3 probe pid 1's
+  // own slot (no-op), tag 2 probes the stalled reader's slot 0 and
+  // donates there, pre-SC.
   std::vector<std::uint64_t> v(kW);
-  for (std::uint64_t round = 1; round <= 2; ++round) {
+  for (std::uint64_t round = 1; round <= st->sc_rounds; ++round) {
     st->obj->ll(1, v.data());
-    st->before_donating_sc = v;
+    if (st->obj->stats().helps_given == 0) st->before_donating_sc = v;
     for (std::uint32_t i = 0; i < kW; ++i) v[i] = 100 * round + i;
     CHECK(st->obj->sc(1, v.data()));
-    if (st->obj->stats().helps_given > 0) return;
   }
-  CHECK(st->obj->stats().helps_given > 0);
 }
 
+/// Runs LL(0) with `sc_rounds` successful SCs injected after its X link;
+/// returns the value the LL produced.
 template <class Engine>
-void help_path_for() {
-  core::MwLLSC<Engine> obj(2, kW);
-  HookState<Engine> st;
+std::vector<std::uint64_t> stalled_ll(core::MwLLSC<Engine>& obj,
+                                      HookState<Engine>& st,
+                                      std::uint32_t sc_rounds) {
   st.obj = &obj;
+  st.sc_rounds = sc_rounds;
+  st.fired = false;
   obj.set_step_hook(&interfere<Engine>, &st);
-
   std::vector<std::uint64_t> out(kW);
   obj.ll(0, out.data());
   obj.set_step_hook(nullptr, nullptr);
-
   CHECK(st.fired);
+  return out;
+}
+
+// Drift 3 > P: the rescue path. The reader must return the donated
+// snapshot with the helped/rescue/help-install counters firing exactly
+// once, and the defensive retry arm must never run.
+template <class Engine>
+void rescue_path() {
+  core::MwLLSC<Engine> obj(2, kW);
+  HookState<Engine> st;
+  const auto out = stalled_ll(obj, st, 3);
+
   const auto s = obj.stats();
   CHECK_EQ(s.helps_given, 1u);
   CHECK_EQ(s.ll_helped, 1u);
   CHECK_EQ(s.ll_used_helped_value, 1u);
-  CHECK(s.bank_writes >= 1);
+  CHECK_EQ(s.ll_retries, 0u);
+  CHECK_EQ(s.bank_writes, 3u);
 
-  // The rescue returned the value that was current just before the
-  // donating SC — exactly what pid 1 read at the LL preceding it.
+  // The rescue returned the value current at the donor's help validation
+  // — exactly what the donor's LL read before its donating SC.
   CHECK(out == st.before_donating_sc);
+  CHECK_EQ(out[0], 100u);
 
   // A helped LL's link is already broken: an SC succeeded meanwhile.
+  std::vector<std::uint64_t> tmp = out;
   CHECK(!obj.vl(0));
-  CHECK(!obj.sc(0, out.data()));
+  CHECK(!obj.sc(0, tmp.data()));
 
-  // The ownership exchange must leave the buffer pool consistent: both
-  // processes can keep operating and observe each other's updates.
+  // The ownership exchanges must leave the buffer pool consistent: both
+  // processes keep operating and observe each other's updates.
   std::vector<std::uint64_t> v(kW);
   for (std::uint64_t i = 1; i <= 200; ++i) {
     const std::uint32_t p = i & 1;
@@ -87,6 +113,54 @@ void help_path_for() {
   }
   obj.ll(0, v.data());
   CHECK_EQ(v[0], 1200u);
+}
+
+// Drift 2 = P: aged validation still passes — the linked buffer sat in
+// the ring, unrecycled — but a donation raced in, so the withdraw CAS
+// fails and the reader adopts the donated buffer without using its value.
+template <class Engine>
+void aged_pass_with_donation() {
+  core::MwLLSC<Engine> obj(2, kW);
+  HookState<Engine> st;
+  const auto out = stalled_ll(obj, st, 2);
+
+  for (auto x : out) CHECK_EQ(x, 0u);  // the linked (initial) snapshot
+  const auto s = obj.stats();
+  CHECK_EQ(s.helps_given, 1u);
+  CHECK_EQ(s.ll_helped, 1u);
+  CHECK_EQ(s.ll_used_helped_value, 0u);
+  CHECK_EQ(s.ll_retries, 0u);
+  CHECK(!obj.vl(0));  // drift broke the link even though the value stands
+
+  // Still fully functional.
+  std::vector<std::uint64_t> v(kW);
+  obj.ll(1, v.data());
+  CHECK_EQ(v[0], 200u);
+  v[0] = 777;
+  CHECK(obj.sc(1, v.data()));
+}
+
+// Drift 1 < P with no donation (tag 1's winner probes its own slot): the
+// plain aged-validation pass, clean withdraw.
+template <class Engine>
+void aged_pass_plain() {
+  core::MwLLSC<Engine> obj(2, kW);
+  HookState<Engine> st;
+  const auto out = stalled_ll(obj, st, 1);
+
+  for (auto x : out) CHECK_EQ(x, 0u);
+  const auto s = obj.stats();
+  CHECK_EQ(s.helps_given, 0u);
+  CHECK_EQ(s.ll_helped, 0u);
+  CHECK_EQ(s.ll_retries, 0u);
+  CHECK(!obj.vl(0));
+}
+
+template <class Engine>
+void help_path_for() {
+  rescue_path<Engine>();
+  aged_pass_with_donation<Engine>();
+  aged_pass_plain<Engine>();
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 //       (the CHESS-style small-configuration check);
 //   (b) the wait-freedom separation — the anti-adversarial scheduler
 //       starves the retry strawman's victim LL without bound, while jp's
-//       and am's worst LL stays under the implemented O(N·W) step bound,
-//       flat in however long the adversary runs.
+//       worst LL stays under the paper's 4W+12 bound (and am's under its
+//       O(N·W) bound), flat in however long the adversary runs.
+// The JpInvariantChecker additionally enforces, on every run here, that
+// no LL exceeds 4W+12 steps and that the defensive retry arm never fires.
 #include <cstdint>
 #include <cstdio>
 #include <vector>
@@ -43,6 +45,10 @@ void exhaustive_small_config() {
   CHECK(!r.truncated);
   CHECK(r.schedules_explored > 100);
   CHECK(r.total_steps > r.schedules_explored);
+  // Theorem 1's bound, exhaustively: no schedule in the search produced an
+  // LL over 4W+12 steps (the checker would also have failed the search).
+  CHECK(r.max_ll_steps > 0);
+  CHECK(r.max_ll_steps <= SimJpSystem::ll_step_bound(2, 2));
 }
 
 // Random schedules with the full oracle, as a wider (non-exhaustive) net.
@@ -58,6 +64,7 @@ void random_oracle_sweep() {
     if (!r.ok) std::fprintf(stderr, "random run failed: %s\n", r.error.c_str());
     CHECK(r.ok);
     CHECK(r.max_ll_steps <= SimJpSystem::ll_step_bound(3, 3));
+    CHECK_EQ(wl.system().ll_retries_total(), 0u);
   }
 }
 
@@ -94,6 +101,7 @@ void adversary_separation() {
   const std::uint32_t n = 3, w = 4;
   const std::uint32_t bound = SimJpSystem::ll_step_bound(n, w);
 
+  // jp's bound is the paper's 4W+12 — independent of N.
   const AdvOut jp_short = adversarial<SimJpSystem>(n, w, 30000);
   const AdvOut jp_long = adversarial<SimJpSystem>(n, w, 90000);
   // Wait-free: bounded, flat in the adversary's run length, and the
