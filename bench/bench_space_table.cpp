@@ -21,13 +21,8 @@ namespace {
 
 std::size_t shared_words(core::IMwLLSC& obj) {
   // Count shared memory the same way the paper does: everything except the
-  // private per-process persistent state.
-  std::size_t bytes = 0;
-  const auto f = obj.footprint();
-  for (const auto& [name, b] : f.parts()) {
-    if (name.find("per-process state") == std::string::npos) bytes += b;
-  }
-  return bytes / 8;
+  // private per-process persistent state (the Footprint ownership tag).
+  return obj.footprint().shared_bytes() / 8;
 }
 
 }  // namespace
@@ -94,8 +89,8 @@ int main() {
     core::MwLLSC<llsc::Dw128LLSC> obj(n, w);
     const auto f = obj.footprint();
     TablePrinter table({"component", "bytes"});
-    for (const auto& [name, bytes] : f.parts()) {
-      table.add_row({name, TablePrinter::num(bytes)});
+    for (const auto& part : f.parts()) {
+      table.add_row({part.name, TablePrinter::num(part.bytes)});
     }
     table.add_row({"TOTAL", TablePrinter::num(f.total_bytes())});
     table.print();
@@ -104,8 +99,8 @@ int main() {
     baseline::AmLLSC<llsc::Dw128LLSC> am(n, w);
     const auto g = am.footprint();
     TablePrinter table2({"component", "bytes"});
-    for (const auto& [name, bytes] : g.parts()) {
-      table2.add_row({name, TablePrinter::num(bytes)});
+    for (const auto& part : g.parts()) {
+      table2.add_row({part.name, TablePrinter::num(part.bytes)});
     }
     table2.add_row({"TOTAL", TablePrinter::num(g.total_bytes())});
     table2.print();

@@ -142,7 +142,8 @@ class AmLLSC {
     f.add("per-process state (private)",
           n_ * sizeof(Priv) +
               static_cast<std::size_t>(n_) * w_ * sizeof(std::uint64_t) +
-              x_.private_bytes() + stats_.bytes());
+              x_.private_bytes() + stats_.bytes(),
+          util::Footprint::Ownership::kPerProcess);
     return f;
   }
 

@@ -75,7 +75,8 @@ class LockLLSC {
     f.add("value (W words)", w_ * sizeof(std::uint64_t));
     f.add("mutex + version", sizeof(mu_) + sizeof(version_));
     f.add("per-process state (private)",
-          n_ * sizeof(Linked) + stats_.bytes());
+          n_ * sizeof(Linked) + stats_.bytes(),
+          util::Footprint::Ownership::kPerProcess);
     return f;
   }
 

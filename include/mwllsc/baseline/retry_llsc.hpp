@@ -87,7 +87,8 @@ class RetryLLSC {
     f.add("value buffers ((N+1) x W words)",
           static_cast<std::size_t>(nbufs_) * w_ * sizeof(std::uint64_t));
     f.add("per-process state (private)",
-          n_ * sizeof(Priv) + x_.private_bytes() + stats_.bytes());
+          n_ * sizeof(Priv) + x_.private_bytes() + stats_.bytes(),
+          util::Footprint::Ownership::kPerProcess);
     return f;
   }
 

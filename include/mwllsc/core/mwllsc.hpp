@@ -274,7 +274,8 @@ class MwLLSC {
     f.add("retirement ring (R cells)", ring_size_ * sizeof(RingCell));
     f.add("announce/help slots (N)", n_ * sizeof(AnnounceSlot));
     f.add("per-process state (private)",
-          n_ * sizeof(Priv) + x_.private_bytes() + stats_.bytes());
+          n_ * sizeof(Priv) + x_.private_bytes() + stats_.bytes(),
+          util::Footprint::Ownership::kPerProcess);
     return f;
   }
 

@@ -102,27 +102,44 @@ class OpStatsArray {
   std::uint32_t n_;
 };
 
-/// Named space breakdown of an implementation. Parts whose name contains
-/// "per-process state" are private (not counted as shared memory by the
-/// space experiments, mirroring the paper's accounting).
+/// Named space breakdown of an implementation. Every part carries a
+/// structured ownership tag — shared memory vs private per-process state —
+/// so the space experiments filter on the tag, mirroring the paper's
+/// accounting (shared words only), instead of string-matching part names.
 class Footprint {
  public:
-  void add(std::string name, std::size_t bytes) {
-    parts_.emplace_back(std::move(name), bytes);
+  enum class Ownership { kShared, kPerProcess };
+
+  struct Part {
+    std::string name;
+    std::size_t bytes;
+    Ownership ownership;
+  };
+
+  void add(std::string name, std::size_t bytes,
+           Ownership ownership = Ownership::kShared) {
+    parts_.push_back({std::move(name), bytes, ownership});
   }
 
-  const std::vector<std::pair<std::string, std::size_t>>& parts() const {
-    return parts_;
-  }
+  const std::vector<Part>& parts() const { return parts_; }
 
   std::size_t total_bytes() const {
     std::size_t t = 0;
-    for (const auto& [name, b] : parts_) t += b;
+    for (const auto& p : parts_) t += p.bytes;
+    return t;
+  }
+
+  /// Bytes of shared memory — the quantity Theorem 1 bounds.
+  std::size_t shared_bytes() const {
+    std::size_t t = 0;
+    for (const auto& p : parts_) {
+      if (p.ownership == Ownership::kShared) t += p.bytes;
+    }
     return t;
   }
 
  private:
-  std::vector<std::pair<std::string, std::size_t>> parts_;
+  std::vector<Part> parts_;
 };
 
 /// Log2-bucketed latency histogram (nanoseconds). Accurate enough for the

@@ -72,18 +72,21 @@ void semantics_for(const core::MwLLSCFactory& f) {
   CHECK(s.sc_success <= s.sc_ops);
   CHECK(s.vl_ops >= 4);
 
-  // Footprint: parts sum to the total and include private state.
+  // Footprint: parts sum to the total, the shared/per-process ownership
+  // split is structural (no name matching), and private state is reported.
   const auto fp = obj->footprint();
   std::size_t sum = 0;
-  bool has_private = false;
-  for (const auto& [name, bytes] : fp.parts()) {
-    sum += bytes;
-    if (name.find("per-process state") != std::string::npos) {
-      has_private = true;
+  std::size_t private_bytes = 0;
+  for (const auto& part : fp.parts()) {
+    sum += part.bytes;
+    if (part.ownership == util::Footprint::Ownership::kPerProcess) {
+      private_bytes += part.bytes;
     }
   }
   CHECK_EQ(sum, fp.total_bytes());
-  CHECK(has_private);
+  CHECK_EQ(fp.shared_bytes() + private_bytes, fp.total_bytes());
+  CHECK(private_bytes > 0);
+  CHECK(fp.shared_bytes() > 0);
 }
 
 // W = 1 degenerate geometry and N = 1 solo process must also work.

@@ -14,12 +14,7 @@ using namespace mwllsc;
 namespace {
 
 std::size_t shared_bytes(core::IMwLLSC& obj) {
-  std::size_t bytes = 0;
-  const auto fp = obj.footprint();
-  for (const auto& [name, b] : fp.parts()) {
-    if (name.find("per-process state") == std::string::npos) bytes += b;
-  }
-  return bytes;
+  return obj.footprint().shared_bytes();
 }
 
 }  // namespace
