@@ -10,12 +10,18 @@
 // (c) VL cost: O(1) validation vs re-running a full O(W) LL — why the
 //     paper bothers exposing VL at all.
 //
-// Run: ./bench_ablation
+// Run: ./bench_ablation [--trace PATH] [--metrics PATH]
+//      (the timing loops run unsampled; a trace of a full run wraps the
+//      per-process rings, so the export keeps only each ring's newest
+//      events — fine for eyeballing in Perfetto, and the offline checker
+//      tolerates the truncation)
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "baseline/am_llsc.hpp"
+#include "bench_common.hpp"
 #include "core/mwllsc.hpp"
 
 using namespace mwllsc;
@@ -27,6 +33,19 @@ using JP64 = core::MwLLSC<llsc::Packed64LLSC>;
 using AM128 = baseline::AmLLSC<llsc::Dw128LLSC>;
 using AM64 = baseline::AmLLSC<llsc::Packed64LLSC>;
 
+bench::ObsSession* g_obs = nullptr;
+
+template <typename Impl>
+const char* impl_label();
+template <>
+const char* impl_label<JP128>() { return "jp dw128"; }
+template <>
+const char* impl_label<JP64>() { return "jp packed64"; }
+template <>
+const char* impl_label<AM128>() { return "am dw128"; }
+template <>
+const char* impl_label<AM64>() { return "am packed64"; }
+
 // (a)+(b): contended RMW pairs. google-benchmark's ->Threads(t) runs the
 // loop on t threads; each uses its thread_index as process id.
 template <typename Impl>
@@ -35,6 +54,10 @@ void BM_ContendedRmw(benchmark::State& state) {
   static Impl* obj = nullptr;
   if (state.thread_index() == 0) {
     obj = new Impl(static_cast<std::uint32_t>(state.threads()), w);
+    if (g_obs) {
+      g_obs->bind_obj(*obj, std::string(impl_label<Impl>()) + " ablation n=" +
+                                std::to_string(state.threads()));
+    }
   }
   std::vector<std::uint64_t> value(w);
   for (auto _ : state) {
@@ -45,9 +68,16 @@ void BM_ContendedRmw(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   if (state.thread_index() == 0) {
+    const auto s = obj->stats();
     state.counters["sc_success_pct"] =
-        100.0 * static_cast<double>(obj->stats().sc_success) /
-        static_cast<double>(obj->stats().sc_ops);
+        100.0 * static_cast<double>(s.sc_success) /
+        static_cast<double>(s.sc_ops);
+    if (g_obs) {
+      g_obs->registry().absorb("impl=\"" + std::string(impl_label<Impl>()) +
+                                   "\",threads=\"" +
+                                   std::to_string(state.threads()) + "\"",
+                               s);
+    }
     delete obj;
     obj = nullptr;
   }
@@ -110,4 +140,27 @@ BENCHMARK_TEMPLATE(BM_ContendedRmw, AM64)
 BENCHMARK(BM_ProbeWithVl)->Arg(4)->Arg(64)->Arg(1024);
 BENCHMARK(BM_ProbeWithLl)->Arg(4)->Arg(64)->Arg(1024);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv, 8);
+  g_obs = &obs;
+  // Strip the obs flags before google-benchmark parses argv (it rejects
+  // unknown arguments).
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const bool obs_flag = std::string(argv[i]) == "--trace" ||
+                          std::string(argv[i]) == "--metrics" ||
+                          std::string(argv[i]) == "--trace-sample-shift";
+    if (obs_flag) {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return obs.finish() ? 0 : 1;
+}

@@ -21,6 +21,8 @@
 // Run: ./bench_apps                  human tables
 //      ./bench_apps --json PATH      perf-trajectory snapshot (plus tables)
 //        [--smoke]                   reduced duration/threads for CI
+//        [--trace PATH]              Chrome-trace export (MWLLSC_TRACE build)
+//        [--metrics PATH]            Prometheus text (.json for JSON) export
 #include <atomic>
 #include <cstdio>
 
@@ -174,8 +176,11 @@ UniversalResult run_universal_lf(const apps::Substrate& substrate,
 
 UniversalResult run_universal_wf(const apps::Substrate& substrate,
                                  unsigned threads,
-                                 std::uint64_t duration_ns) {
+                                 std::uint64_t duration_ns,
+                                 bench::ObsSession& obs,
+                                 const std::string& label) {
   apps::WfUniversal<Counter, Inc> obj(threads, Counter{0}, substrate);
+  obs.bind_obj(obj, label + " wf_universal");
   std::atomic<std::uint64_t> ops{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -190,8 +195,10 @@ UniversalResult run_universal_wf(const apps::Substrate& substrate,
 }
 
 double queue_mops(const apps::Substrate& substrate, unsigned threads,
-                  std::uint64_t duration_ns) {
+                  std::uint64_t duration_ns, bench::ObsSession& obs,
+                  const std::string& label) {
   apps::WfQueue<64> q(threads, substrate);
+  obs.bind_obj(q, label + " wf_queue");
   std::atomic<std::uint64_t> ops{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -216,6 +223,7 @@ int main(int argc, char** argv) {
   const unsigned hw = std::max(4u, std::thread::hardware_concurrency());
   const unsigned threads = std::min(hw, smoke ? 4u : 16u);
   auto factories = bench::all_factories();
+  bench::ObsSession obs(argc, argv, threads);
   bench::JsonEmitter out(
       "apps", "application workloads over LL/SC substrates, million ops/s");
 
@@ -227,7 +235,10 @@ int main(int argc, char** argv) {
     TablePrinter table({"substrate", "Mops", "object words"});
     for (auto& f : factories) {
       auto obj = f.make(threads, 3);
+      obs.bind(*obj, f.name + " counter w=3");
       const double mops = counter_mops(*obj, threads, duration_ns);
+      obs.registry().absorb("impl=\"" + f.name + "\",workload=\"counter\"",
+                            obj->stats());
       table.add_row({f.name, TablePrinter::num(mops, 2),
                      TablePrinter::num(shared_words(*obj))});
       out.begin_row();
@@ -252,8 +263,11 @@ int main(int argc, char** argv) {
     TablePrinter table({"substrate", "scan Mops", "object words"});
     for (auto& f : factories) {
       auto obj = f.make(threads, kComponents * kCompWords);
+      obs.bind(*obj, f.name + " snapshot");
       const double mops = snapshot_scan_mops(*obj, threads, writers,
                                              kCompWords, duration_ns);
+      obs.registry().absorb("impl=\"" + f.name + "\",workload=\"snapshot\"",
+                            obj->stats());
       table.add_row({f.name, TablePrinter::num(mops, 2),
                      TablePrinter::num(shared_words(*obj))});
       out.begin_row();
@@ -278,7 +292,7 @@ int main(int argc, char** argv) {
       const UniversalResult lf =
           run_universal_lf(f.make, threads, duration_ns);
       const UniversalResult wf =
-          run_universal_wf(f.make, threads, duration_ns);
+          run_universal_wf(f.make, threads, duration_ns, obs, f.name);
       table.add_row({f.name, "lock-free (retry)", TablePrinter::num(lf.mops, 2),
                      attempts_per_op(lf), "lock-free (unbounded attempts)"});
       table.add_row({f.name, "wait-free (help-all)",
@@ -307,7 +321,7 @@ int main(int argc, char** argv) {
         "enqueue+dequeue Mops:\n");
     TablePrinter table({"substrate", "Mops"});
     for (auto& f : factories) {
-      const double mops = queue_mops(f.make, threads, duration_ns);
+      const double mops = queue_mops(f.make, threads, duration_ns, obs, f.name);
       table.add_row({f.name, TablePrinter::num(mops, 2)});
       out.begin_row();
       out.field("workload", "queue");
@@ -324,7 +338,10 @@ int main(int argc, char** argv) {
     TablePrinter table({"substrate", "Mops", "object words"});
     for (auto& f : factories) {
       auto obj = f.make(threads, 16);
+      obs.bind(*obj, f.name + " register w=16");
       const double mops = register_mops(*obj, threads, duration_ns);
+      obs.registry().absorb("impl=\"" + f.name + "\",workload=\"register\"",
+                            obj->stats());
       table.add_row({f.name, TablePrinter::num(mops, 2),
                      TablePrinter::num(shared_words(*obj))});
       out.begin_row();
@@ -337,6 +354,36 @@ int main(int argc, char** argv) {
     table.print();
   }
 
+  // Tracing epilogue. The per-process rings keep only the newest events,
+  // and the workloads above run the substrates in factory order — so the
+  // surviving suffix would be whatever ran last (lock), and the offline
+  // checker's jp rules (4W+12, I2) would verify nothing. A short,
+  // fixed-op-count jp run — raw RMW plus help-all applies — guarantees the
+  // exported file re-confirms the paper's bounds non-vacuously.
+  if (obs.tracing()) {
+    auto obj = bench::factory_by_name("jp").make(threads, 8);
+    obs.bind(*obj, "jp epilogue w=8");
+    apps::WfUniversal<Counter, Inc> wf(threads, Counter{0},
+                                       bench::factory_by_name("jp").make);
+    obs.bind_obj(wf, "jp epilogue wf_universal");
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        std::vector<std::uint64_t> buf(obj->words());
+        for (int i = 0; i < 500; ++i) {
+          for (;;) {
+            obj->ll(t, buf.data());
+            buf[0] += 1;
+            if (obj->sc(t, buf.data())) break;
+          }
+        }
+        for (int i = 0; i < 200; ++i) wf.apply(t, apps::OpDesc{});
+      });
+    }
+    for (auto& th : pool) th.join();
+    obs.registry().absorb("impl=\"jp\",workload=\"epilogue\"", obj->stats());
+  }
+
   if (!json_path.empty()) {
     if (!out.write(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -344,5 +391,5 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "baseline/retry_llsc.hpp"
 #include "core/any.hpp"
 #include "core/mwllsc.hpp"
+#include "obs/export.hpp"
 #include "util/barrier.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -142,6 +143,20 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Version of the BENCH_*.json row format; bump on breaking field changes
+/// so the cross-PR trajectory tooling can tell schemas apart.
+inline constexpr unsigned kBenchSchemaVersion = 2;
+
+/// The build's `git describe` string (baked in by CMake), or "unknown"
+/// when building outside a git checkout.
+inline const char* git_describe() {
+#if defined(MWLLSC_GIT_DESCRIBE)
+  return MWLLSC_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Append-style JSON snapshot writer: begin_row(), then field() calls, then
 /// write(). Strings are assumed not to need escaping (impl/op names).
 class JsonEmitter {
@@ -171,6 +186,8 @@ class JsonEmitter {
     if (!f) return false;
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": \"%s\",\n",
                  bench_.c_str(), schema_.c_str());
+    std::fprintf(f, "  \"schema_version\": %u,\n  \"git\": \"%s\",\n",
+                 kBenchSchemaVersion, git_describe());
     std::fprintf(f, "  \"unix_time\": %lld,\n",
                  static_cast<long long>(std::time(nullptr)));
     std::fprintf(f, "  \"rows\": [\n");
@@ -191,6 +208,120 @@ class JsonEmitter {
   std::string bench_;
   std::string schema_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+// ------------------------------------------------------------------------
+// Observability session (--trace / --metrics, DESIGN.md §8).
+//
+// Every bench constructs one ObsSession from argv; benches bind the
+// objects they create to it, absorb their counters/latencies into the
+// registry, and call finish() after the threads join. Tracing needs the
+// MWLLSC_TRACE build; the metrics registry always works.
+
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv, std::uint32_t nprocs,
+             obs::TraceConfig cfg = {})
+      : trace_path_(arg_value(argc, argv, "--trace")),
+        metrics_path_(arg_value(argc, argv, "--metrics")) {
+    const std::string shift = arg_value(argc, argv, "--trace-sample-shift");
+    if (!shift.empty()) {
+      cfg.sample_shift = static_cast<std::uint32_t>(std::atoi(shift.c_str()));
+    }
+    if (!trace_path_.empty()) {
+#if defined(MWLLSC_TRACE)
+      sink_ = std::make_unique<obs::TraceSink>(nprocs, cfg);
+#else
+      std::fprintf(stderr,
+                   "[obs] --trace requested but this binary was built "
+                   "without MWLLSC_TRACE; rebuild with -DMWLLSC_TRACE=ON. "
+                   "Writing an empty trace.\n");
+      sink_ = std::make_unique<obs::TraceSink>(nprocs, cfg);
+#endif
+    }
+  }
+
+  bool tracing() const { return sink_ != nullptr; }
+  bool metrics_requested() const { return !metrics_path_.empty(); }
+  obs::TraceSink* sink() { return sink_.get(); }
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Binds a facade object under a fresh variable id; `label` should start
+  /// with the substrate name ("jp w=4 n=8") so the offline checker's
+  /// prefix rules apply (the object self-describes first; this richer
+  /// label overwrites it).
+  std::uint32_t bind(core::IMwLLSC& obj, const std::string& label) {
+    const std::uint32_t id = next_var_++;
+    if (sink_) {
+      obj.set_trace(sink_.get(), id);
+      sink_->describe_var(id, obj.words(), label);
+    }
+    return id;
+  }
+
+  /// Binds any object exposing set_trace(TraceSink*, var) + words() —
+  /// the apps-layer constructions.
+  template <class T>
+  std::uint32_t bind_obj(T& obj, const std::string& label) {
+    const std::uint32_t id = next_var_++;
+    if (sink_) {
+      obj.set_trace(sink_.get(), id);
+      sink_->describe_var(id, obj.words(), label);
+    }
+    return id;
+  }
+
+  /// Absorbs an implementation's counters under `impl="<name>"` labels.
+  void absorb_stats(const std::string& impl,
+                    const core::OpStatsSnapshot& s) {
+    registry_.absorb("impl=\"" + impl + "\"", s);
+  }
+
+  /// Collects rings, derives trace metrics, and writes the requested
+  /// files. Call after every traced thread has joined. Returns false if
+  /// any requested file failed to write.
+  bool finish() {
+    bool ok = true;
+    std::string err;
+    if (sink_ && !trace_path_.empty()) {
+      const obs::TraceData d = sink_->collect();
+      registry_.absorb_trace(d);
+      if (obs::write_chrome_trace(trace_path_, d, &err)) {
+        std::fprintf(stderr,
+                     "[obs] wrote %llu events (%u procs) to %s\n",
+                     static_cast<unsigned long long>(d.total_events()),
+                     static_cast<unsigned>(d.per_pid.size()),
+                     trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] trace export failed: %s\n", err.c_str());
+        ok = false;
+      }
+    }
+    if (!metrics_path_.empty()) {
+      const bool json =
+          metrics_path_.size() >= 5 &&
+          metrics_path_.compare(metrics_path_.size() - 5, 5, ".json") == 0;
+      const bool wrote =
+          json ? obs::write_metrics_json(metrics_path_, registry_, &err)
+               : obs::write_prometheus(metrics_path_, registry_, &err);
+      if (wrote) {
+        std::fprintf(stderr, "[obs] wrote %zu metric series to %s\n",
+                     registry_.metrics().size(), metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] metrics export failed: %s\n",
+                     err.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::TraceSink> sink_;
+  obs::MetricsRegistry registry_;
+  std::uint32_t next_var_ = 0;
 };
 
 inline MixedResult run_mixed_throughput(core::IMwLLSC& obj, unsigned threads,

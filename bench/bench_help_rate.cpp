@@ -13,8 +13,9 @@
 // point of wait-freedom: help is a constant-cost insurance premium, not a
 // retry loop.
 //
-// Run: ./bench_help_rate
+// Run: ./bench_help_rate [--trace PATH] [--metrics PATH]
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
@@ -22,8 +23,10 @@
 using namespace mwllsc;
 using util::TablePrinter;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint64_t kDurationNs = 250'000'000;
+  const auto thread_counts = bench::scaling_thread_counts();
+  bench::ObsSession obs(argc, argv, thread_counts.back());
 
   std::printf(
       "E4: helping-mechanism rates for the paper's algorithm\n"
@@ -33,9 +36,14 @@ int main() {
   for (std::uint32_t w : {4u, 64u}) {
     TablePrinter table({"threads", "helped LLs", "line-7 rescues",
                         "help installs", "bank fixups", "sc success %"});
-    for (unsigned t : bench::scaling_thread_counts()) {
+    for (unsigned t : thread_counts) {
       auto obj = bench::factory_by_name("jp").make(t, w);
+      obs.bind(*obj, "jp help_rate w=" + std::to_string(w) + " n=" +
+                         std::to_string(t));
       const auto r = bench::run_rmw_throughput(*obj, t, kDurationNs);
+      obs.registry().absorb("impl=\"jp\",w=\"" + std::to_string(w) +
+                                "\",threads=\"" + std::to_string(t) + "\"",
+                            r.stats);
       const double per_kll =
           r.stats.ll_ops ? 1000.0 / static_cast<double>(r.stats.ll_ops) : 0;
       const double per_ksc =
@@ -65,9 +73,10 @@ int main() {
   {
     TablePrinter table({"threads", "reader Mops", "writer Mops",
                         "helped LLs/1k", "line-7 rescues/1k"});
-    for (unsigned t : bench::scaling_thread_counts()) {
+    for (unsigned t : thread_counts) {
       if (t < 3) continue;
       auto obj = bench::factory_by_name("jp").make(t, 64);
+      obs.bind(*obj, "jp reader_heavy n=" + std::to_string(t));
       const auto r = bench::run_mixed_throughput(*obj, t, 2, kDurationNs);
       const double per_kll =
           r.stats.ll_ops ? 1000.0 / static_cast<double>(r.stats.ll_ops) : 0;
@@ -83,5 +92,5 @@ int main() {
     }
     table.print();
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

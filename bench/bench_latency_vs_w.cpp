@@ -107,8 +107,10 @@ namespace {
 // Uses the IMwLLSC facade so every implementation runs identical driver
 // code; the google-benchmark path above stays the precision instrument.
 void json_sweep_impl(bench::JsonEmitter& out, const std::string& impl,
-                     std::uint32_t w, std::uint64_t iters) {
+                     std::uint32_t w, std::uint64_t iters,
+                     bench::ObsSession& obs) {
   auto obj = bench::factory_by_name(impl).make(2, w);
+  obs.bind(*obj, impl + " latency w=" + std::to_string(w));
   std::vector<std::uint64_t> value(w);
 
   util::Stopwatch sw;
@@ -132,6 +134,8 @@ void json_sweep_impl(bench::JsonEmitter& out, const std::string& impl,
   const double vl_ns = sw.elapsed_s() * 1e9 / static_cast<double>(iters);
 
   const auto s = obj->stats();
+  obs.registry().absorb(
+      "impl=\"" + impl + "\",w=\"" + std::to_string(w) + "\"", s);
   for (const auto& [op, ns] :
        {std::pair<const char*, double>{"ll", ll_ns},
         {"llsc_pair", pair_ns},
@@ -150,7 +154,8 @@ void json_sweep_impl(bench::JsonEmitter& out, const std::string& impl,
   }
 }
 
-int run_json_sweep(const std::string& path, bool smoke) {
+int run_json_sweep(const std::string& path, bool smoke,
+                   bench::ObsSession& obs) {
   const std::vector<std::uint32_t> ws =
       smoke ? std::vector<std::uint32_t>{1, 4, 16}
             : std::vector<std::uint32_t>{1, 4, 16, 64, 256, 1024};
@@ -161,7 +166,7 @@ int run_json_sweep(const std::string& path, bool smoke) {
     const std::uint64_t iters =
         (smoke ? 200000u : 2000000u) / (w + 16) + 1000;
     for (const char* impl : {"jp", "am", "retry", "lock"}) {
-      json_sweep_impl(out, impl, w, iters);
+      json_sweep_impl(out, impl, w, iters, obs);
     }
   }
   if (!out.write(path)) {
@@ -175,12 +180,30 @@ int run_json_sweep(const std::string& path, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv, 2);
   const std::string json = bench::arg_value(argc, argv, "--json");
   if (!json.empty()) {
-    return run_json_sweep(json, bench::has_flag(argc, argv, "--smoke"));
+    const int rc = run_json_sweep(json, bench::has_flag(argc, argv, "--smoke"),
+                                  obs);
+    return obs.finish() && rc == 0 ? 0 : 1;
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Strip the obs flags before google-benchmark sees argv (it rejects
+  // unknown arguments); the gbench path itself runs untraced.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const bool obs_flag = std::string(argv[i]) == "--trace" ||
+                          std::string(argv[i]) == "--metrics" ||
+                          std::string(argv[i]) == "--trace-sample-shift";
+    if (obs_flag) {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

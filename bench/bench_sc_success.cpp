@@ -6,8 +6,9 @@
 // success rates at equal contention: success rate ~ 1/threads once the
 // object is saturated, because exactly one SC wins per "round".
 //
-// Run: ./bench_sc_success
+// Run: ./bench_sc_success [--trace PATH] [--metrics PATH]
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
@@ -15,9 +16,11 @@
 using namespace mwllsc;
 using util::TablePrinter;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint64_t kDurationNs = 250'000'000;
   auto factories = bench::all_factories();
+  const auto thread_counts = bench::scaling_thread_counts();
+  bench::ObsSession obs(argc, argv, thread_counts.back());
 
   std::printf(
       "E5: SC success rate (successful SCs / attempted SCs), W = 8\n"
@@ -27,16 +30,20 @@ int main() {
 
   TablePrinter table(
       {"threads", "jp", "am", "retry", "lock", "1/threads"});
-  for (unsigned t : bench::scaling_thread_counts()) {
+  for (unsigned t : thread_counts) {
     std::vector<std::string> row = {TablePrinter::num(std::size_t{t})};
     for (auto& f : factories) {
       auto obj = f.make(t, 8);
+      obs.bind(*obj, f.name + " sc_success n=" + std::to_string(t));
       const auto r = bench::run_rmw_throughput(*obj, t, kDurationNs);
+      obs.registry().absorb(
+          "impl=\"" + f.name + "\",threads=\"" + std::to_string(t) + "\"",
+          r.stats);
       row.push_back(TablePrinter::num(100.0 * r.sc_success_rate, 1) + "%");
     }
     row.push_back(TablePrinter::num(100.0 / t, 1) + "%");
     table.add_row(std::move(row));
   }
   table.print();
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

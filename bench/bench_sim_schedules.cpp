@@ -18,14 +18,18 @@
 // Also reports simulator throughput (steps/second) and CHESS coverage
 // (schedules/second), characterizing the verification substrate itself.
 //
-// Run: ./bench_sim_schedules [--smoke]
+// Run: ./bench_sim_schedules [--smoke] [--metrics PATH]
 //   --smoke: reduced grid and run lengths for CI smoke testing.
+//   --metrics: export worst/bound cells as gauges. --trace is accepted but
+//   yields an empty trace: the simulator steps hand-written step machines,
+//   not the real (instrumented) protocol objects.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "sim/harness.hpp"
 #include "sim/invariants.hpp"
 #include "sim/sim_am.hpp"
@@ -99,7 +103,8 @@ std::uint32_t worst_ll_adversarial(std::uint32_t n, std::uint32_t w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::ObsSession obs(argc, argv, 1);
   const std::uint32_t seeds = smoke ? 4 : 10;
   const std::uint64_t max_steps = smoke ? 30000 : 300000;
 
@@ -130,6 +135,18 @@ int main(int argc, char** argv) {
     const std::uint32_t am_worst = std::max(r_rand_am, adv_am);
     const std::uint32_t jp_bound = SimJpSystem::ll_step_bound(n, w);
     const std::uint32_t am_bound = SimAmSystem::ll_step_bound(n, w);
+    const std::string cell =
+        "n=\"" + std::to_string(n) + "\",w=\"" + std::to_string(w) + "\"";
+    obs.registry().set_gauge(
+        "mwllsc_sim_worst_ll_steps{impl=\"jp\"," + cell + "}", jp_worst);
+    obs.registry().set_gauge(
+        "mwllsc_sim_ll_step_bound{impl=\"jp\"," + cell + "}", jp_bound);
+    obs.registry().set_gauge(
+        "mwllsc_sim_worst_ll_steps{impl=\"am\"," + cell + "}", am_worst);
+    obs.registry().set_gauge(
+        "mwllsc_sim_ll_step_bound{impl=\"am\"," + cell + "}", am_bound);
+    obs.registry().set_gauge(
+        "mwllsc_sim_worst_ll_steps{impl=\"retry\"," + cell + "}", adv_rt);
     // Gate each implementation against its own bound: jp against the
     // paper's 4W+12, am against its O(N*W) formula.
     const bool violated = jp_worst > jp_bound || am_worst > am_bound;
@@ -188,6 +205,7 @@ int main(int argc, char** argv) {
         static_cast<double>(r.schedules_explored) / secs,
         static_cast<unsigned long long>(r.schedules_explored), r.ok ? 1 : 0);
   }
+  if (!obs.finish()) return 1;
   if (!g_all_ok) {
     std::fprintf(stderr, "\nE9: FAILED — invariant or bound violations\n");
     return 1;

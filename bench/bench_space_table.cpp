@@ -7,8 +7,10 @@
 //   * fitted exponents of N (JP ~ N^1, AM ~ N^2),
 //   * the per-component breakdown of the JP object at a reference point.
 //
-// Run: ./bench_space_table
+// Run: ./bench_space_table [--metrics PATH]
+//      (no threads run here, so --trace produces an empty trace)
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -27,7 +29,8 @@ std::size_t shared_words(core::IMwLLSC& obj) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv, 1);
   std::printf(
       "E1: space complexity, measured 64-bit words of shared memory\n"
       "paper claim: JP = O(NW) vs Anderson-Moir = O(N^2 W); ratio ~ N\n\n");
@@ -47,6 +50,10 @@ int main() {
       for (auto& f : factories) {
         auto obj = f.make(n, w);
         const std::size_t words = shared_words(*obj);
+        obs.registry().set_gauge("mwllsc_shared_words{impl=\"" + f.name +
+                                     "\",n=\"" + std::to_string(n) +
+                                     "\",w=\"" + std::to_string(w) + "\"}",
+                                 static_cast<double>(words));
         if (f.name == "jp") jp_words = words;
         if (f.name == "am") am_words = words;
         row.push_back(TablePrinter::num(words));
@@ -105,5 +112,5 @@ int main() {
     table2.add_row({"TOTAL", TablePrinter::num(g.total_bytes())});
     table2.print();
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

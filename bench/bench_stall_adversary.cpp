@@ -43,9 +43,10 @@ struct StallResult {
 ///         "lock" — ALL threads serialize a mutex around read/compute/write,
 ///                  slow thread computes for delta inside the lock.
 StallResult run_stall(const std::string& impl, unsigned threads,
-                      std::uint64_t stall_ns) {
+                      std::uint64_t stall_ns, bench::ObsSession& obs) {
   auto factory = bench::factory_by_name(impl);
   auto obj = factory.make(threads, kWords);
+  obs.bind(*obj, impl + " stall=" + std::to_string(stall_ns / 1000) + "us");
   std::atomic<std::uint64_t> fast_ops{0};
   std::vector<util::LatencyHistogram> hists(threads);
   util::TimedRun run;
@@ -76,6 +77,12 @@ StallResult run_stall(const std::string& impl, unsigned threads,
 
   util::LatencyHistogram all;
   for (unsigned t = 1; t < threads; ++t) all.merge(hists[t]);
+  obs.registry().absorb_latency("impl=\"" + impl + "\",stall_ns=\"" +
+                                    std::to_string(stall_ns) + "\"",
+                                all);
+  obs.registry().absorb(
+      "impl=\"" + impl + "\",stall_ns=\"" + std::to_string(stall_ns) + "\"",
+      obj->stats());
   StallResult r;
   r.fast_mops = static_cast<double>(fast_ops.load()) /
                 (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
@@ -140,9 +147,10 @@ void print_row(TablePrinter& table, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const unsigned threads =
       std::min(std::max(4u, std::thread::hardware_concurrency()), 8u);
+  bench::ObsSession obs(argc, argv, threads);
 
   std::printf(
       "E8: stall adversary — one thread stalls mid-update for delta; fast\n"
@@ -154,10 +162,12 @@ int main() {
                       "p99 (ns)", "max (ns)"});
   for (std::uint64_t stall_us : {0ULL, 100ULL, 1000ULL, 10000ULL}) {
     const std::uint64_t ns = stall_us * 1000;
-    print_row(table, "jp (wait-free)", stall_us, run_stall("jp", threads, ns));
-    print_row(table, "am (wait-free)", stall_us, run_stall("am", threads, ns));
+    print_row(table, "jp (wait-free)", stall_us,
+              run_stall("jp", threads, ns, obs));
+    print_row(table, "am (wait-free)", stall_us,
+              run_stall("am", threads, ns, obs));
     print_row(table, "retry (lock-free)", stall_us,
-              run_stall("retry", threads, ns));
+              run_stall("retry", threads, ns, obs));
     print_row(table, "mutex CS (blocking)", stall_us,
               run_lock_cs(threads, ns));
   }
@@ -168,5 +178,5 @@ int main() {
       "latency is untouched by the stall (the slow SC just fails); for the\n"
       "mutex the max latency tracks delta and throughput collapses — the\n"
       "convoying/fault-tolerance argument of the paper's introduction.\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 // Run: ./bench_throughput_vs_n                 human tables
 //      ./bench_throughput_vs_n --json PATH     perf-trajectory snapshot
 //        [--smoke]                             reduced grid for CI
+//        [--trace PATH] [--metrics PATH]       obs/ export (bench_common.hpp)
 #include <cstdio>
 #include <string>
 
@@ -23,7 +24,8 @@ namespace {
 
 // --json mode: the same rmw workload, written as a BENCH_*.json snapshot
 // (the recorded perf trajectory — see bench_common.hpp).
-int run_json_sweep(const std::string& path, bool smoke) {
+int run_json_sweep(const std::string& path, bool smoke,
+                   bench::ObsSession& obs) {
   const std::uint64_t duration_ns = smoke ? 50'000'000 : 250'000'000;
   const auto threads = bench::scaling_thread_counts(smoke ? 2 : 0);
   const std::vector<std::uint32_t> ws =
@@ -35,7 +37,13 @@ int run_json_sweep(const std::string& path, bool smoke) {
     for (const unsigned t : threads) {
       for (auto& f : bench::all_factories()) {
         auto obj = f.make(t, w);
+        obs.bind(*obj, f.name + " rmw w=" + std::to_string(w) + " n=" +
+                           std::to_string(t));
         const auto r = bench::run_rmw_throughput(*obj, t, duration_ns);
+        obs.registry().absorb("impl=\"" + f.name + "\",w=\"" +
+                                  std::to_string(w) + "\",threads=\"" +
+                                  std::to_string(t) + "\"",
+                              r.stats);
         out.begin_row();
         out.field("impl", f.name);
         out.field("threads", std::uint64_t{t});
@@ -56,12 +64,16 @@ int run_json_sweep(const std::string& path, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto all_threads = bench::scaling_thread_counts();
+  bench::ObsSession obs(argc, argv, all_threads.back());
   const std::string json = bench::arg_value(argc, argv, "--json");
   if (!json.empty()) {
-    return run_json_sweep(json, bench::has_flag(argc, argv, "--smoke"));
+    const int rc =
+        run_json_sweep(json, bench::has_flag(argc, argv, "--smoke"), obs);
+    return obs.finish() && rc == 0 ? 0 : 1;
   }
   constexpr std::uint64_t kDurationNs = 250'000'000;  // 250 ms per cell
-  const auto threads = bench::scaling_thread_counts();
+  const auto& threads = all_threads;
   auto factories = bench::all_factories();
 
   std::printf(
@@ -76,7 +88,13 @@ int main(int argc, char** argv) {
       double jp_rate = 0;
       for (auto& f : factories) {
         auto obj = f.make(t, w);
+        obs.bind(*obj, f.name + " rmw w=" + std::to_string(w) + " n=" +
+                           std::to_string(t));
         const auto r = bench::run_rmw_throughput(*obj, t, kDurationNs);
+        obs.registry().absorb("impl=\"" + f.name + "\",w=\"" +
+                                  std::to_string(w) + "\",threads=\"" +
+                                  std::to_string(t) + "\"",
+                              r.stats);
         row.push_back(TablePrinter::num(r.mops, 2));
         if (f.name == "jp") jp_rate = r.sc_success_rate;
       }
@@ -128,5 +146,5 @@ int main(int argc, char** argv) {
     }
     table.print();
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -50,6 +50,11 @@ class WfQueue {
   std::uint64_t total_attempts() const { return u_.total_attempts(); }
   std::uint64_t max_attempts() const { return u_.max_attempts(); }
   core::IMwLLSC& substrate() { return u_.substrate(); }
+  std::uint32_t words() const { return u_.words(); }
+
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    u_.set_trace(sink, var);
+  }
 
  private:
   // No default member initializers: the type must stay *trivial* (not just

@@ -36,6 +36,7 @@
 
 #include "apps/universal.hpp"
 #include "core/any.hpp"
+#include "obs/trace.hpp"
 
 namespace mwllsc::apps {
 
@@ -100,6 +101,7 @@ class WfUniversal {
     a.arg.store(d.arg, std::memory_order_relaxed);
     a.seq.store(seq, std::memory_order_seq_cst);
     hook("announced", p);
+    trace_.emit(obs::EventKind::kAnnounce, p, seq, static_cast<std::uint32_t>(d.kind));
     std::uint64_t* buf = me.scratch.data();
     std::uint64_t attempts = 0;
     for (;;) {
@@ -107,11 +109,14 @@ class WfUniversal {
       obj_->ll(p, buf);
       if (buf[applied_ix(p)] == seq) break;  // a winner applied us
       hook("linked", p);
-      help_all(buf);
+      const std::uint32_t applied = help_all(buf);
+      trace_.emit(obs::EventKind::kHelpAll, p, seq, applied);
       if (obj_->sc(p, buf)) break;  // we won; our own op was in help_all
       hook("sc_failed", p);
       assert(attempts < kMaxAttempts && "help-all attempt bound violated");
     }
+    trace_.emit(obs::EventKind::kApplyCommit, p, seq,
+                static_cast<std::uint32_t>(attempts));
     me.attempts.store(me.attempts.load(std::memory_order_relaxed) + attempts,
                       std::memory_order_relaxed);
     if (attempts > me.max_attempts.load(std::memory_order_relaxed))
@@ -155,6 +160,15 @@ class WfUniversal {
     hook_ctx_ = ctx;
   }
 
+  /// Binds both the construction and its substrate to the sink under one
+  /// variable id: apps events (announce/help_all/apply_commit) interleave
+  /// with the substrate's LL/SC events in each process's ring, which is
+  /// exactly the per-op causality the Perfetto view shows.
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    trace_.bind(sink, var);
+    obj_->set_trace(sink, var);
+  }
+
  private:
   struct alignas(64) Slot {
     std::atomic<std::uint64_t> seq{0};
@@ -179,9 +193,10 @@ class WfUniversal {
   /// announce seqs advance only after the op is applied in the installed
   /// chain, hence a slot that changes under us implies a successful SC
   /// after our LL — our own SC is already doomed to fail semantically.
-  void help_all(std::uint64_t* buf) {
+  std::uint32_t help_all(std::uint64_t* buf) {
     T state;
     std::memcpy(&state, buf, sizeof(T));
+    std::uint32_t applied = 0;
     for (std::uint32_t q = 0; q < n_; ++q) {
       Slot& s = slots_[q];
       const std::uint64_t seq = s.seq.load(std::memory_order_seq_cst);
@@ -191,8 +206,10 @@ class WfUniversal {
       if (s.seq.load(std::memory_order_seq_cst) != seq) continue;  // doomed
       buf[result_ix(q)] = op_(state, d);
       buf[applied_ix(q)] = seq;
+      ++applied;
     }
     std::memcpy(buf, &state, sizeof(T));
+    return applied;
   }
 
   void hook(const char* point, std::uint32_t pid) {
@@ -205,6 +222,7 @@ class WfUniversal {
   std::unique_ptr<core::IMwLLSC> obj_;
   std::unique_ptr<Slot[]> slots_;
   std::unique_ptr<Priv[]> priv_;
+  obs::TraceHandle trace_;
   StepHook hook_ = nullptr;
   void* hook_ctx_ = nullptr;
   const Op op_{};

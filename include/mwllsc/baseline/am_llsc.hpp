@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/llsc.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace mwllsc::baseline {
@@ -52,6 +53,7 @@ class AmLLSC {
     me.seq = (me.seq + 1) & kSeqMask;  // the announce word holds 44 bits
     announce_[p].a.store(pack_a(kWaiting, 0, me.seq),
                          std::memory_order_seq_cst);
+    trace_.emit(obs::EventKind::kLlStart, p, me.seq);
     for (;;) {
       const std::uint64_t x = x_.ll(p);
       const std::uint32_t b = buf_of_x(x);
@@ -63,12 +65,14 @@ class AmLLSC {
                 expect, pack_a(kIdle, 0, me.seq),
                 std::memory_order_seq_cst)) {
           stats_.at(p).bump(stats_.at(p).ll_helped);  // donated but unused
+          trace_.emit(obs::EventKind::kLlHelped, p, me.seq);
         }
         // Keep the private copy a future successful SC donates from.
         for (std::uint32_t i = 0; i < w_; ++i) lastrow(p)[i] = out[i];
         me.ll_buf = b;
         me.link_valid = true;
         stats_.at(p).bump(stats_.at(p).ll_ops);
+        trace_.emit(obs::EventKind::kLlFast, p, me.seq, b);
         return;
       }
       const std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
@@ -83,8 +87,10 @@ class AmLLSC {
         c.bump(c.ll_helped);
         c.bump(c.ll_used_helped_value);
         c.bump(c.ll_ops);
+        trace_.emit(obs::EventKind::kLlRescue, p, me.seq, q);
         return;
       }
+      trace_.emit(obs::EventKind::kLlRetry, p, me.seq);
     }
   }
 
@@ -93,17 +99,27 @@ class AmLLSC {
     Priv& me = priv_[p];
     auto& c = stats_.at(p);
     c.bump(c.sc_ops);
-    if (!me.link_valid) return false;
+    trace_.emit(obs::EventKind::kScAttempt, p, me.seq,
+                me.link_valid ? 1 : 0);
+    if (!me.link_valid) {
+      trace_.emit(obs::EventKind::kScFail, p, me.seq);
+      return false;
+    }
     me.link_valid = false;
     copy_to_bufs(me.spare, v);
     std::atomic_thread_fence(std::memory_order_release);
-    const std::uint32_t target =
-        static_cast<std::uint32_t>((x_.linked_tag(p) + 1) % n_);
+    const std::uint64_t t = x_.linked_tag(p);
+    const std::uint32_t target = static_cast<std::uint32_t>((t + 1) % n_);
     std::uint64_t seen = announce_[target].a.load(std::memory_order_seq_cst);
-    if (!x_.sc(p, pack_x(p, me.spare))) return false;
+    if (!x_.sc(p, pack_x(p, me.spare))) {
+      trace_.emit(obs::EventKind::kScFail, p, me.seq);
+      return false;
+    }
     c.bump(c.sc_success);
+    trace_.emit(obs::EventKind::kScCommit, p, t + 1);
     me.spare = me.ll_buf;  // retire the previously-current buffer
     c.bump(c.bank_writes);
+    trace_.emit(obs::EventKind::kBankWrite, p, t + 1, me.spare);
     if (target != p && state_of_a(seen) == kWaiting) {
       // Copy-based help: hand over the value we read at our LL (current
       // until our SC an instant ago) through our handoff row. O(W).
@@ -114,6 +130,8 @@ class AmLLSC {
       if (announce_[target].a.compare_exchange_strong(
               seen, donated, std::memory_order_seq_cst)) {
         c.bump(c.helps_given);
+        trace_.emit(obs::EventKind::kHelpInstall, p, seq_of_a(donated),
+                    target);
       }
     }
     return true;
@@ -130,6 +148,11 @@ class AmLLSC {
   std::uint32_t words() const { return w_; }
 
   core::OpStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    trace_.bind(sink, var);
+    if (sink) sink->describe_var(var, w_, "am");
+  }
 
   util::Footprint footprint() const {
     util::Footprint f;
@@ -224,6 +247,7 @@ class AmLLSC {
   std::unique_ptr<Priv[]> priv_;
   std::unique_ptr<std::uint64_t[]> lastval_;
   util::OpStatsArray stats_;
+  obs::TraceHandle trace_;
 };
 
 }  // namespace mwllsc::baseline

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace mwllsc::baseline {
@@ -32,29 +33,38 @@ class LockLLSC {
 
   void ll(std::uint32_t p, std::uint64_t* out) {
     assert(p < n_);
+    trace_.emit(obs::EventKind::kLlStart, p);
+    std::uint64_t linked = 0;
     {
       std::lock_guard<std::mutex> g(mu_);
       for (std::uint32_t i = 0; i < w_; ++i) out[i] = value_[i];
       linked_[p].version = version_;
+      linked = version_;
     }
     stats_.at(p).bump(stats_.at(p).ll_ops);
+    trace_.emit(obs::EventKind::kLlFast, p, linked);
   }
 
   bool sc(std::uint32_t p, const std::uint64_t* v) {
     assert(p < n_);
     auto& c = stats_.at(p);
     c.bump(c.sc_ops);
+    trace_.emit(obs::EventKind::kScAttempt, p);
     bool ok = false;
+    std::uint64_t newv = 0;
     {
       std::lock_guard<std::mutex> g(mu_);
       if (linked_[p].version == version_) {
         for (std::uint32_t i = 0; i < w_; ++i) value_[i] = v[i];
         ++version_;
+        newv = version_;
         ok = true;
       }
       linked_[p].version = kUnlinked;  // the link is consumed either way
     }
     if (ok) c.bump(c.sc_success);
+    trace_.emit(ok ? obs::EventKind::kScCommit : obs::EventKind::kScFail, p,
+                newv);
     return ok;
   }
 
@@ -69,6 +79,11 @@ class LockLLSC {
   std::uint32_t words() const { return w_; }
 
   core::OpStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    trace_.bind(sink, var);
+    if (sink) sink->describe_var(var, w_, "lock");
+  }
 
   util::Footprint footprint() const {
     util::Footprint f;
@@ -94,6 +109,7 @@ class LockLLSC {
   std::vector<std::uint64_t> value_;
   std::unique_ptr<Linked[]> linked_;
   util::OpStatsArray stats_;
+  obs::TraceHandle trace_;
 };
 
 }  // namespace mwllsc::baseline

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "core/llsc.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace mwllsc::baseline {
@@ -40,6 +41,7 @@ class RetryLLSC {
   void ll(std::uint32_t p, std::uint64_t* out) {
     assert(p < n_);
     Priv& me = priv_[p];
+    trace_.emit(obs::EventKind::kLlStart, p);
     for (;;) {  // unbounded: lock-free, not wait-free
       const std::uint64_t x = x_.ll(p);
       const std::uint32_t b = buf_of_x(x);
@@ -49,8 +51,10 @@ class RetryLLSC {
         me.ll_buf = b;
         me.link_valid = true;
         stats_.at(p).bump(stats_.at(p).ll_ops);
+        trace_.emit(obs::EventKind::kLlFast, p, 0, b);
         return;
       }
+      trace_.emit(obs::EventKind::kLlRetry, p);
     }
   }
 
@@ -59,13 +63,22 @@ class RetryLLSC {
     Priv& me = priv_[p];
     auto& c = stats_.at(p);
     c.bump(c.sc_ops);
-    if (!me.link_valid) return false;
+    trace_.emit(obs::EventKind::kScAttempt, p, 0, me.link_valid ? 1 : 0);
+    if (!me.link_valid) {
+      trace_.emit(obs::EventKind::kScFail, p);
+      return false;
+    }
     me.link_valid = false;
     copy_in(me.spare, v);
     std::atomic_thread_fence(std::memory_order_release);
-    if (!x_.sc(p, pack_x(p, me.spare))) return false;
+    if (!x_.sc(p, pack_x(p, me.spare))) {
+      trace_.emit(obs::EventKind::kScFail, p);
+      return false;
+    }
     c.bump(c.sc_success);
+    trace_.emit(obs::EventKind::kScCommit, p);
     me.spare = me.ll_buf;
+    trace_.emit(obs::EventKind::kBankWrite, p, 0, me.spare);
     return true;
   }
 
@@ -80,6 +93,11 @@ class RetryLLSC {
   std::uint32_t words() const { return w_; }
 
   core::OpStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    trace_.bind(sink, var);
+    if (sink) sink->describe_var(var, w_, "retry");
+  }
 
   util::Footprint footprint() const {
     util::Footprint f;
@@ -135,6 +153,7 @@ class RetryLLSC {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buf_;
   std::unique_ptr<Priv[]> priv_;
   util::OpStatsArray stats_;
+  obs::TraceHandle trace_;
 };
 
 }  // namespace mwllsc::baseline

@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace mwllsc::core {
@@ -32,6 +33,13 @@ class IMwLLSC {
   virtual std::uint32_t words() const = 0;
   virtual OpStatsSnapshot stats() const = 0;
   virtual util::Footprint footprint() const = 0;
+
+  /// Binds this variable to a trace sink under id `var` (obs/trace.hpp).
+  /// No-op in MWLLSC_TRACE-off builds and for untraced implementations.
+  virtual void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    (void)sink;
+    (void)var;
+  }
 };
 
 /// Adapts any concrete implementation with the same member signatures.
@@ -51,6 +59,9 @@ class MwLLSCAdapter final : public IMwLLSC {
   std::uint32_t words() const override { return impl_.words(); }
   OpStatsSnapshot stats() const override { return impl_.stats(); }
   util::Footprint footprint() const override { return impl_.footprint(); }
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) override {
+    impl_.set_trace(sink, var);
+  }
 
   T& impl() { return impl_; }
 

@@ -67,6 +67,7 @@
 #include <memory>
 
 #include "core/llsc.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace mwllsc::core {
@@ -129,6 +130,7 @@ class MwLLSC {
     announce_[p].a.store(pack_a(kWaiting, me.xbuf, me.seq),
                          std::memory_order_seq_cst);
     hook("ll:announced", p);
+    trace_.emit(obs::EventKind::kLlStart, p, me.seq);
     for (;;) {
       const std::uint64_t x = x_.ll(p);
       const std::uint64_t t0 = x_.linked_tag(p);
@@ -151,10 +153,12 @@ class MwLLSC {
           assert(state_of_a(expect) == kHelped && seq_of_a(expect) == me.seq);
           me.xbuf = buf_of_a(expect);
           c.bump(c.ll_helped);
+          trace_.emit(obs::EventKind::kLlHelped, p, me.seq, buf_of_a(expect));
         }
         me.ll_buf = b;
         me.link_valid = (drift == 0);  // any drift already broke the link
         c.bump(c.ll_ops);
+        trace_.emit(obs::EventKind::kLlFast, p, t0, b);
         return;
       }
       // Drift >= P+1: the P winners that linked after our announce swept
@@ -170,12 +174,14 @@ class MwLLSC {
         c.bump(c.ll_helped);
         c.bump(c.ll_used_helped_value);
         c.bump(c.ll_ops);
+        trace_.emit(obs::EventKind::kLlRescue, p, me.seq, d);
         return;
       }
       // Unreachable if the help guarantee holds (tests assert this
       // counter stays zero); kept as a defensive retry.
       c.bump(c.ll_retries);
       hook("ll:retry", p);
+      trace_.emit(obs::EventKind::kLlRetry, p, me.seq);
     }
   }
 
@@ -184,7 +190,12 @@ class MwLLSC {
     Priv& me = priv_[p];
     auto& c = stats_.at(p);
     c.bump(c.sc_ops);
-    if (!me.link_valid) return false;  // helped/drifted LL or no LL: O(1)
+    trace_.emit(obs::EventKind::kScAttempt, p, me.seq,
+                me.link_valid ? 1 : 0);
+    if (!me.link_valid) {               // helped/drifted LL or no LL: O(1)
+      trace_.emit(obs::EventKind::kScFail, p, me.seq);
+      return false;
+    }
     me.link_valid = false;             // the link is consumed either way
     // Write the new value into our spare buffer.
     copy_in(me.spare, v);
@@ -215,12 +226,18 @@ class MwLLSC {
             me.xbuf = buf_of_a(seen);  // ownership exchange, O(1)
             c.bump(c.helps_given);
             hook("sc:help_marked", p);
+            trace_.emit(obs::EventKind::kHelpInstall, p, seq_of_a(seen),
+                        target);
           }
         }
       }
     }
-    if (!x_.sc(p, pack_x(p, me.spare))) return false;
+    if (!x_.sc(p, pack_x(p, me.spare))) {
+      trace_.emit(obs::EventKind::kScFail, p, me.seq);
+      return false;
+    }
     c.bump(c.sc_success);
+    trace_.emit(obs::EventKind::kScCommit, p, (t + 1) & kRingTagMask);
     // The bank write: retire the previously-current buffer through the
     // aged ring (I2: exactly one resolution per successful SC).
     const std::uint32_t retired = me.ll_buf;
@@ -250,6 +267,8 @@ class MwLLSC {
     }
     c.bump(c.bank_writes);
     hook("sc:retired", p);
+    trace_.emit(obs::EventKind::kBufferRetire, p, mytag, retired);
+    trace_.emit(obs::EventKind::kBankWrite, p, mytag, retired);
     return true;
   }
 
@@ -282,6 +301,14 @@ class MwLLSC {
   void set_step_hook(StepHook h, void* ctx) {
     hook_ = h;
     hook_ctx_ = ctx;
+  }
+
+  /// Binds this variable to a trace sink (obs/trace.hpp); self-describes
+  /// with the "jp" substrate prefix the offline checker keys its 4W+12 /
+  /// zero-retry rules on. No-op when MWLLSC_TRACE is off.
+  void set_trace(obs::TraceSink* sink, std::uint32_t var) {
+    trace_.bind(sink, var);
+    if (sink) sink->describe_var(var, w_, "jp");
   }
 
  private:
@@ -397,6 +424,7 @@ class MwLLSC {
   std::unique_ptr<AnnounceSlot[]> announce_;
   std::unique_ptr<Priv[]> priv_;
   util::OpStatsArray stats_;
+  obs::TraceHandle trace_;
   StepHook hook_ = nullptr;
   void* hook_ctx_ = nullptr;
 };

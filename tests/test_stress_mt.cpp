@@ -4,12 +4,18 @@
 // consistent (all words carry the same logical count — a torn or stale
 // read would break that), and the final value must be exactly T*K: no lost
 // or duplicated increments.
+//
+// tests/CMakeLists.txt compiles this test WITH MWLLSC_TRACE, so the same
+// run doubles as the data-race check for the tracing hot path (TSan job):
+// every substrate stresses with live per-process rings, and the collected
+// trace replays through the offline checker afterwards.
 #include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
 #include "test_check.hpp"
 
 using namespace mwllsc;
@@ -23,6 +29,8 @@ constexpr std::uint32_t kW = 5;
 void stress_for(const core::MwLLSCFactory& f) {
   std::printf("  %s...\n", f.name.c_str());
   auto obj = f.make(kThreads, kW);
+  obs::TraceSink sink(kThreads);
+  obj->set_trace(&sink, 0);
   util::SpinBarrier start(kThreads);
   std::vector<std::thread> pool;
   std::atomic<bool> failed{false};
@@ -60,6 +68,18 @@ void stress_for(const core::MwLLSCFactory& f) {
   const auto s = obj->stats();
   CHECK_EQ(s.sc_success, kThreads * kIncrements);
   CHECK(s.sc_ops >= s.sc_success);
+
+#if defined(MWLLSC_TRACE)
+  // Replay the (ring-truncated) trace through the offline checker: the
+  // 4W+12 bound and I2 must hold over whatever suffix survived.
+  const auto r = obs::check_trace(sink.collect());
+  if (!r.ok()) {
+    for (const auto& v : r.violations)
+      std::fprintf(stderr, "    trace: %s\n", v.c_str());
+  }
+  CHECK(r.ok());
+  CHECK(r.lls_checked > 0);
+#endif
   std::printf("    sc %llu/%llu, helped LLs %llu, rescues %llu, "
               "help installs %llu\n",
               static_cast<unsigned long long>(s.sc_success),

@@ -61,6 +61,30 @@ int main() {
     CHECK_EQ(hist.max(), static_cast<std::uint64_t>(1 << 20));
   }
 
+  // Interpolated percentiles, pinned. Uniform 1..1000: the true p50 is
+  // ~500; the bucket lower bound alone would report 256. The interpolation
+  // places rank 499 at fraction (499-255+0.5)/256 of bucket [256, 512).
+  {
+    util::LatencyHistogram hist;
+    for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+    CHECK_EQ(hist.percentile(0.50), 500u);
+    CHECK_EQ(hist.percentile(0.99), 1000u);  // clamped to the observed max
+    CHECK_EQ(hist.percentile(1.0), 1000u);
+    CHECK_EQ(hist.percentile(0.0), 1u);
+  }
+
+  // Bimodal 900x100ns + 100x10000ns: p50 sits in the low mode, p95 in the
+  // high mode (clamped to max — 10000 lands mid-bucket in [8192, 16384)).
+  {
+    util::LatencyHistogram hist;
+    for (int i = 0; i < 900; ++i) hist.record(100);
+    for (int i = 0; i < 100; ++i) hist.record(10000);
+    CHECK_EQ(hist.percentile(0.50), 99u);
+    CHECK_EQ(hist.percentile(0.95), 10000u);
+    util::LatencyHistogram empty;
+    CHECK_EQ(empty.percentile(0.5), 0u);
+  }
+
   // fitted_exponent recovers the slope of a power law.
   {
     std::vector<double> xs, ys;
