@@ -44,6 +44,8 @@ double mops_of(std::uint64_t ops, const util::TimedRun& run) {
 
 double counter_mops(core::IMwLLSC& obj, unsigned threads,
                     std::uint64_t duration_ns) {
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> total{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -60,14 +62,16 @@ double counter_mops(core::IMwLLSC& obj, unsigned threads,
         if (run.should_stop()) break;
       }
     }
-    total.fetch_add(ops);
+    total.fetch_add(ops, std::memory_order_relaxed);
   });
-  return mops_of(total.load(), run);
+  return mops_of(total.load(std::memory_order_relaxed), run);
 }
 
 double snapshot_scan_mops(core::IMwLLSC& obj, unsigned threads,
                           unsigned writers, std::uint32_t comp_words,
                           std::uint64_t duration_ns) {
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> scans{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -92,14 +96,16 @@ double snapshot_scan_mops(core::IMwLLSC& obj, unsigned threads,
         obj.ll(t, buf.data());
         ++ops;
       }
-      scans.fetch_add(ops);
+      scans.fetch_add(ops, std::memory_order_relaxed);
     }
   });
-  return mops_of(scans.load(), run);
+  return mops_of(scans.load(std::memory_order_relaxed), run);
 }
 
 double register_mops(core::IMwLLSC& obj, unsigned threads,
                      std::uint64_t duration_ns) {
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> total{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -122,9 +128,9 @@ double register_mops(core::IMwLLSC& obj, unsigned threads,
         ++ops;
       }
     }
-    total.fetch_add(ops);
+    total.fetch_add(ops, std::memory_order_relaxed);
   });
-  return mops_of(total.load(), run);
+  return mops_of(total.load(std::memory_order_relaxed), run);
 }
 
 std::size_t shared_words(core::IMwLLSC& obj) {
@@ -161,6 +167,8 @@ UniversalResult run_universal_lf(const apps::Substrate& substrate,
                                  unsigned threads,
                                  std::uint64_t duration_ns) {
   apps::UniversalObject<Counter> obj(threads, Counter{0}, substrate);
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> ops{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -169,9 +177,9 @@ UniversalResult run_universal_lf(const apps::Substrate& substrate,
       obj.apply(t, [](Counter& c) { c.v++; });
       ++mine;
     }
-    ops.fetch_add(mine);
+    ops.fetch_add(mine, std::memory_order_relaxed);
   });
-  return {mops_of(ops.load(), run), ops.load(), obj.attempts_hint()};
+  return {mops_of(ops.load(std::memory_order_relaxed), run), ops.load(std::memory_order_relaxed), obj.attempts_hint()};
 }
 
 UniversalResult run_universal_wf(const apps::Substrate& substrate,
@@ -181,6 +189,8 @@ UniversalResult run_universal_wf(const apps::Substrate& substrate,
                                  const std::string& label) {
   apps::WfUniversal<Counter, Inc> obj(threads, Counter{0}, substrate);
   obs.bind_obj(obj, label + " wf_universal");
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> ops{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -189,9 +199,9 @@ UniversalResult run_universal_wf(const apps::Substrate& substrate,
       obj.apply(t, apps::OpDesc{});
       ++mine;
     }
-    ops.fetch_add(mine);
+    ops.fetch_add(mine, std::memory_order_relaxed);
   });
-  return {mops_of(ops.load(), run), ops.load(), obj.total_attempts()};
+  return {mops_of(ops.load(std::memory_order_relaxed), run), ops.load(std::memory_order_relaxed), obj.total_attempts()};
 }
 
 double queue_mops(const apps::Substrate& substrate, unsigned threads,
@@ -199,6 +209,8 @@ double queue_mops(const apps::Substrate& substrate, unsigned threads,
                   const std::string& label) {
   apps::WfQueue<64> q(threads, substrate);
   obs.bind_obj(q, label + " wf_queue");
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> ops{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -209,9 +221,9 @@ double queue_mops(const apps::Substrate& substrate, unsigned threads,
       q.dequeue(t);
       mine += 2;
     }
-    ops.fetch_add(mine);
+    ops.fetch_add(mine, std::memory_order_relaxed);
   });
-  return mops_of(ops.load(), run);
+  return mops_of(ops.load(std::memory_order_relaxed), run);
 }
 
 }  // namespace

@@ -85,6 +85,8 @@ struct ThroughputResult {
 inline ThroughputResult run_rmw_throughput(core::IMwLLSC& obj,
                                            unsigned threads,
                                            std::uint64_t duration_ns) {
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> total_pairs{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -98,11 +100,11 @@ inline ThroughputResult run_rmw_throughput(core::IMwLLSC& obj,
       obj.sc(t, value.data());
       ++pairs;
     }
-    total_pairs.fetch_add(pairs);
+    total_pairs.fetch_add(pairs, std::memory_order_relaxed);
   });
   ThroughputResult r;
   r.stats = obj.stats();
-  r.mops = static_cast<double>(total_pairs.load()) /
+  r.mops = static_cast<double>(total_pairs.load(std::memory_order_relaxed)) /
            (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
   r.sc_success_rate = r.stats.sc_ops
                           ? static_cast<double>(r.stats.sc_success) /
@@ -327,6 +329,8 @@ class ObsSession {
 inline MixedResult run_mixed_throughput(core::IMwLLSC& obj, unsigned threads,
                                         unsigned writers,
                                         std::uint64_t duration_ns) {
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> reads{0}, writes{0};
   util::TimedRun run;
   run.run_for(threads, duration_ns, [&](unsigned t) {
@@ -339,20 +343,20 @@ inline MixedResult run_mixed_throughput(core::IMwLLSC& obj, unsigned threads,
         obj.sc(t, value.data());
         ++ops;
       }
-      writes.fetch_add(ops);
+      writes.fetch_add(ops, std::memory_order_relaxed);
     } else {
       while (!run.should_stop()) {
         obj.ll(t, value.data());
         ++ops;
       }
-      reads.fetch_add(ops);
+      reads.fetch_add(ops, std::memory_order_relaxed);
     }
   });
   MixedResult r;
   r.stats = obj.stats();
   const double secs = static_cast<double>(run.measured_ns()) / 1e9;
-  r.reader_mops = static_cast<double>(reads.load()) / secs / 1e6;
-  r.writer_mops = static_cast<double>(writes.load()) / secs / 1e6;
+  r.reader_mops = static_cast<double>(reads.load(std::memory_order_relaxed)) / secs / 1e6;
+  r.writer_mops = static_cast<double>(writes.load(std::memory_order_relaxed)) / secs / 1e6;
   return r;
 }
 

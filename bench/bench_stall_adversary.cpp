@@ -47,6 +47,8 @@ StallResult run_stall(const std::string& impl, unsigned threads,
   auto factory = bench::factory_by_name(impl);
   auto obj = factory.make(threads, kWords);
   obs.bind(*obj, impl + " stall=" + std::to_string(stall_ns / 1000) + "us");
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> fast_ops{0};
   std::vector<util::LatencyHistogram> hists(threads);
   util::TimedRun run;
@@ -72,7 +74,7 @@ StallResult run_stall(const std::string& impl, unsigned threads,
         ++ops;
       }
     }
-    if (!slow) fast_ops.fetch_add(ops);
+    if (!slow) fast_ops.fetch_add(ops, std::memory_order_relaxed);
   });
 
   util::LatencyHistogram all;
@@ -84,7 +86,7 @@ StallResult run_stall(const std::string& impl, unsigned threads,
       "impl=\"" + impl + "\",stall_ns=\"" + std::to_string(stall_ns) + "\"",
       obj->stats());
   StallResult r;
-  r.fast_mops = static_cast<double>(fast_ops.load()) /
+  r.fast_mops = static_cast<double>(fast_ops.load(std::memory_order_relaxed)) /
                 (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
   r.p50 = all.percentile(0.50);
   r.p99 = all.percentile(0.99);
@@ -98,6 +100,8 @@ StallResult run_stall(const std::string& impl, unsigned threads,
 StallResult run_lock_cs(unsigned threads, std::uint64_t stall_ns) {
   std::mutex mu;
   std::vector<std::uint64_t> value(kWords, 0);
+  // Relaxed op counter: summed after join(); the join supplies the
+  // happens-before for the final read (DESIGN.md §9).
   std::atomic<std::uint64_t> fast_ops{0};
   std::vector<util::LatencyHistogram> hists(threads);
   util::TimedRun run;
@@ -122,13 +126,13 @@ StallResult run_lock_cs(unsigned threads, std::uint64_t stall_ns) {
         ++ops;
       }
     }
-    if (!slow) fast_ops.fetch_add(ops);
+    if (!slow) fast_ops.fetch_add(ops, std::memory_order_relaxed);
   });
 
   util::LatencyHistogram all;
   for (unsigned t = 1; t < threads; ++t) all.merge(hists[t]);
   StallResult r;
-  r.fast_mops = static_cast<double>(fast_ops.load()) /
+  r.fast_mops = static_cast<double>(fast_ops.load(std::memory_order_relaxed)) /
                 (static_cast<double>(run.measured_ns()) / 1e9) / 1e6;
   r.p50 = all.percentile(0.50);
   r.p99 = all.percentile(0.99);

@@ -122,6 +122,8 @@ int main(int argc, char** argv) {
         std::vector<std::unique_ptr<core::IMwLLSC>> objs;
         for (std::uint32_t k = 0; k < kObjects; ++k)
           objs.push_back(f.make(t, kW));
+        // Relaxed op counter: summed after join(); the join supplies the
+        // happens-before for the final read (DESIGN.md §9).
         std::atomic<std::uint64_t> pairs{0};
         util::TimedRun run;
         run.run_for(t, kDurationNs, [&](unsigned tid) {
@@ -135,10 +137,10 @@ int main(int argc, char** argv) {
             obj.sc(tid, value.data());
             ++mine;
           }
-          pairs.fetch_add(mine);
+          pairs.fetch_add(mine, std::memory_order_relaxed);
         });
         row.push_back(TablePrinter::num(
-            static_cast<double>(pairs.load()) /
+            static_cast<double>(pairs.load(std::memory_order_relaxed)) /
                 (static_cast<double>(run.measured_ns()) / 1e9) / 1e6,
             2));
       }

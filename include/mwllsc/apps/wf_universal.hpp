@@ -99,6 +99,9 @@ class WfUniversal {
     // announce in real time is guaranteed to observe it.
     a.kind.store(d.kind, std::memory_order_relaxed);
     a.arg.store(d.arg, std::memory_order_relaxed);
+    // mwllsc-ordering: seq_cst(op announce: a helper whose LL follows
+    // this store in real time is guaranteed to observe the seq, which is
+    // what makes help_all exhaustive and apply() wait-free)
     a.seq.store(seq, std::memory_order_seq_cst);
     hook("announced", p);
     trace_.emit(obs::EventKind::kAnnounce, p, seq, static_cast<std::uint32_t>(d.kind));
@@ -199,10 +202,16 @@ class WfUniversal {
     std::uint32_t applied = 0;
     for (std::uint32_t q = 0; q < n_; ++q) {
       Slot& s = slots_[q];
+      // mwllsc-ordering: seq_cst(helper side of the op announce: ordered
+      // after the announcer's seq store, so an op announced before our LL
+      // is never skipped)
       const std::uint64_t seq = s.seq.load(std::memory_order_seq_cst);
       if (seq != buf[applied_ix(q)] + 1) continue;  // nothing pending here
       OpDesc d{s.kind.load(std::memory_order_relaxed),
                s.arg.load(std::memory_order_relaxed)};
+      // mwllsc-ordering: seq_cst(seqlock-style re-read: an unchanged seq
+      // proves kind/arg above were not torn by a re-announce; a changed
+      // seq means a later SC committed and ours is doomed anyway)
       if (s.seq.load(std::memory_order_seq_cst) != seq) continue;  // doomed
       buf[result_ix(q)] = op_(state, d);
       buf[applied_ix(q)] = seq;

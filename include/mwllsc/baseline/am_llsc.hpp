@@ -51,6 +51,9 @@ class AmLLSC {
     assert(p < n_);
     Priv& me = priv_[p];
     me.seq = (me.seq + 1) & kSeqMask;  // the announce word holds 44 bits
+    // mwllsc-ordering: seq_cst(announce/help handshake of the copy-helping
+    // baseline: the store precedes every later winner's pre-SC scan in the
+    // total order, so a winner either sees us or linked before we announced)
     announce_[p].a.store(pack_a(kWaiting, 0, me.seq),
                          std::memory_order_seq_cst);
     trace_.emit(obs::EventKind::kLlStart, p, me.seq);
@@ -60,6 +63,8 @@ class AmLLSC {
       copy_from_bufs(b, out);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (x_.vl(p)) {
+        // mwllsc-ordering: seq_cst(the withdraw races a helper's kHelped
+        // CAS on this slot; the total order picks exactly one)
         std::uint64_t expect = pack_a(kWaiting, 0, me.seq);
         if (!announce_[p].a.compare_exchange_strong(
                 expect, pack_a(kIdle, 0, me.seq),
@@ -75,6 +80,9 @@ class AmLLSC {
         trace_.emit(obs::EventKind::kLlFast, p, me.seq, b);
         return;
       }
+      // mwllsc-ordering: seq_cst(re-read of our slot after a failed VL:
+      // the SC that broke the link sits before this load in the total
+      // order, so its helper's donation — if any — is visible here)
       const std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
       if (state_of_a(a) == kHelped && seq_of_a(a) == me.seq) {
         // The helper copied a consistent value into its handoff row for us;
@@ -110,6 +118,8 @@ class AmLLSC {
     std::atomic_thread_fence(std::memory_order_release);
     const std::uint64_t t = x_.linked_tag(p);
     const std::uint32_t target = static_cast<std::uint32_t>((t + 1) % n_);
+    // mwllsc-ordering: seq_cst(the pre-SC probe pairs with the announce
+    // store: a probe after the announce cannot miss kWaiting)
     std::uint64_t seen = announce_[target].a.load(std::memory_order_seq_cst);
     if (!x_.sc(p, pack_x(p, me.spare))) {
       trace_.emit(obs::EventKind::kScFail, p, me.seq);
@@ -127,6 +137,8 @@ class AmLLSC {
       const std::uint64_t* src = lastrow(p);
       for (std::uint32_t i = 0; i < w_; ++i) h[i] = src[i];
       const std::uint64_t donated = pack_a(kHelped, p, seq_of_a(seen));
+      // mwllsc-ordering: seq_cst(the help install races the owner's
+      // withdraw CAS; exactly one CAS on the slot wins the handoff)
       if (announce_[target].a.compare_exchange_strong(
               seen, donated, std::memory_order_seq_cst)) {
         c.bump(c.helps_given);

@@ -8,11 +8,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mwllsc::baseline {
 
@@ -36,7 +36,7 @@ class LockLLSC {
     trace_.emit(obs::EventKind::kLlStart, p);
     std::uint64_t linked = 0;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      util::MutexLock g(mu_);
       for (std::uint32_t i = 0; i < w_; ++i) out[i] = value_[i];
       linked_[p].version = version_;
       linked = version_;
@@ -53,7 +53,7 @@ class LockLLSC {
     bool ok = false;
     std::uint64_t newv = 0;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      util::MutexLock g(mu_);
       if (linked_[p].version == version_) {
         for (std::uint32_t i = 0; i < w_; ++i) value_[i] = v[i];
         ++version_;
@@ -72,7 +72,7 @@ class LockLLSC {
     assert(p < n_);
     auto& c = stats_.at(p);
     c.bump(c.vl_ops);
-    std::lock_guard<std::mutex> g(mu_);
+    util::MutexLock g(mu_);
     return linked_[p].version == version_;
   }
 
@@ -104,10 +104,10 @@ class LockLLSC {
 
   const std::uint32_t n_;
   const std::uint32_t w_;
-  std::mutex mu_;
-  std::uint64_t version_ = 0;
-  std::vector<std::uint64_t> value_;
-  std::unique_ptr<Linked[]> linked_;
+  util::Mutex mu_;
+  std::uint64_t version_ MWLLSC_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> value_ MWLLSC_GUARDED_BY(mu_);
+  std::unique_ptr<Linked[]> linked_ MWLLSC_PT_GUARDED_BY(mu_);
   util::OpStatsArray stats_;
   obs::TraceHandle trace_;
 };

@@ -99,6 +99,9 @@ class SeqTagLLSC {
     assert(desired != kUnlinked &&
            "SeqTagLLSC would install the kUnlinked sentinel (all-ones "
            "value at the maximum tag — see llsc.hpp operating envelope)");
+    // mwllsc-ordering: seq_cst(the SC CAS is the protocol's linearization
+    // point: every successful SC is globally ordered, which the announce
+    // sweep and the tag arithmetic in core/mwllsc.hpp both assume)
     return cell_.w.compare_exchange_strong(expected, desired,
                                            std::memory_order_seq_cst,
                                            std::memory_order_relaxed);

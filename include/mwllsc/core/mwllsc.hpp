@@ -127,6 +127,9 @@ class MwLLSC {
     auto& c = stats_.at(p);
     me.seq = (me.seq + 1) & kSeqMask;  // the announce word holds 44 bits
     // Announce, offering our exchange buffer to a prospective helper.
+    // mwllsc-ordering: seq_cst(this store and the winners' pre-SC probes
+    // of A[(T+1) mod P] share one total order, so a winner that misses
+    // the announce must have linked before it — bounding drift at P tags)
     announce_[p].a.store(pack_a(kWaiting, me.xbuf, me.seq),
                          std::memory_order_seq_cst);
     hook("ll:announced", p);
@@ -143,6 +146,9 @@ class MwLLSC {
         // Aged validation passed: buffers rest >= R >= P tags in the ring
         // before reuse, so the copy is an untorn snapshot of version t0,
         // linearized at the link. Withdraw the announce.
+        // The withdraw races a winner's donation CAS on this slot; the
+        // total order picks exactly one side of the ownership exchange.
+        // mwllsc-ordering: seq_cst(withdraw vs donation CAS, one winner)
         std::uint64_t expect = pack_a(kWaiting, me.xbuf, me.seq);
         if (!announce_[p].a.compare_exchange_strong(
                 expect, pack_a(kIdle, me.xbuf, me.seq),
@@ -163,6 +169,9 @@ class MwLLSC {
       }
       // Drift >= P+1: the P winners that linked after our announce swept
       // every announce slot pre-SC, so a donation is already posted.
+      // mwllsc-ordering: seq_cst(this load sits in the same total order as
+      // the announce store and the winners' probes — the sweep argument
+      // only holds inside that order)
       const std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
       if (state_of_a(a) == kHelped && seq_of_a(a) == me.seq) {
         // Return the donated snapshot. We own the buffer now; no
@@ -208,6 +217,9 @@ class MwLLSC {
     const std::uint32_t target =
         static_cast<std::uint32_t>(t + 1) & (p2_ - 1);
     if (target != p && target < n_) {
+      // The probe pairs with the announce store in the single total
+      // order: a probe after the announce cannot miss kWaiting.
+      // mwllsc-ordering: seq_cst(probe half of the announce handshake)
       const std::uint64_t seen =
           announce_[target].a.load(std::memory_order_seq_cst);
       if (state_of_a(seen) == kWaiting) {
@@ -219,6 +231,10 @@ class MwLLSC {
         copy_buf(me.ll_buf, me.xbuf);
         std::atomic_thread_fence(std::memory_order_acquire);
         if (x_.vl(p)) {
+          // The donation must precede our SC of tag T+1 in the total
+          // order, and it races the owner's withdraw CAS on the same
+          // slot; exactly one wins.
+          // mwllsc-ordering: seq_cst(donation before SC; races withdraw)
           std::uint64_t expect = seen;
           if (announce_[target].a.compare_exchange_strong(
                   expect, pack_a(kHelped, me.xbuf, seq_of_a(seen)),
@@ -250,6 +266,10 @@ class MwLLSC {
       // d >= R with the high bits clear means the cell is genuinely
       // behind us — swap our retiree in and take the aged buffer out.
       if (d >= ring_size_ && !(d >> (kRingTagBits - 1))) {
+        // The ring swap is the bank-write resolution: exactly one winner
+        // per tag retires into the cell, which is what keeps invariant
+        // I2 and the aging bound R.
+        // mwllsc-ordering: seq_cst(one retiree per tag resolves the cell)
         std::uint64_t expect = rw;
         if (cell.w.compare_exchange_strong(expect, pack_ring(retired, mytag),
                                            std::memory_order_seq_cst)) {

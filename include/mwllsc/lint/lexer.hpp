@@ -1,0 +1,117 @@
+// mwllsc-lint lexer: turns the blanked code view of a SourceFile into a
+// flat token stream (identifiers, numbers, punctuation) with 1-based line
+// numbers. Preprocessor directives are skipped whole (including backslash
+// continuations) — the analyzer reasons about both arms of an #if, which
+// is exactly what a text-level ordering lint wants.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace mwllsc::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+inline std::vector<Token> tokenize(const SourceFile& f) {
+  std::vector<Token> out;
+  const std::string& s = f.code;
+  int line = 1;
+  bool line_only_ws = true;  // nothing but whitespace so far on this line
+
+  // Multi-char punctuators, longest first (maximal munch).
+  static const char* kPunct3[] = {"<<=", ">>=", "...", "->*"};
+  static const char* kPunct2[] = {"::", "->", "++", "--", "+=", "-=",
+                                  "*=", "/=", "%=", "&=", "|=", "^=",
+                                  "==", "!=", "<=", ">=", "&&", "||",
+                                  "<<", ">>"};
+
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      line_only_ws = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && line_only_ws) {
+      // Preprocessor line: swallow to end of line, honoring continuations.
+      while (i < s.size()) {
+        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (s[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    line_only_ws = false;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.kind = Token::Kind::kIdent;
+      t.line = line;
+      while (i < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[i])) ||
+              s[i] == '_')) {
+        t.text.push_back(s[i++]);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t;
+      t.kind = Token::Kind::kNumber;
+      t.line = line;
+      while (i < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[i])) ||
+              s[i] == '.' || s[i] == '\'')) {
+        t.text.push_back(s[i++]);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    Token t;
+    t.kind = Token::Kind::kPunct;
+    t.line = line;
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (s.compare(i, 3, p) == 0) {
+        t.text = p;
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      for (const char* p : kPunct2) {
+        if (s.compare(i, 2, p) == 0) {
+          t.text = p;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace mwllsc::lint

@@ -1,0 +1,236 @@
+// mwllsc-lint rule engine (DESIGN.md §9). The ruleset the repo's
+// memory-ordering discipline hangs on:
+//
+//   R1  every atomic access names an explicit std::memory_order — the
+//       defaulted seq_cst (bare load()/store(v)/fetch_add(v)/operator
+//       sugar) is banned: an ordering nobody wrote down is an ordering
+//       nobody argued about.
+//   R2  seq_cst appears only under an in-source ordering contract
+//       (mwllsc-ordering annotation naming seq_cst and the reason the
+//       total order is needed); a contract that matches no nearby access
+//       is itself a finding, so the comments cannot rot.
+//   R3  obs/ trace-ring head and slot stores are relaxed only: the rings
+//       are single-writer and readers synchronize via thread join, so any
+//       stronger store is smuggling synchronization into the hot path.
+//   R4  no volatile, __sync_*/__atomic_* builtins, or inline asm — all
+//       atomics go through std::atomic where the lint can see them.
+//   R5  every shared atomic field (class member or global) is cache-line
+//       padded (alignas on the field or its enclosing struct) or carries
+//       an explicit padding exemption.
+//
+// Findings can be silenced with a suppression annotation naming the rule;
+// the suppression must sit on the finding's line, the line above it, or a
+// line of the (multi-line) access it targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace mwllsc::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int line_end = 0;  ///< last line of the site (suppression window)
+  std::string rule;  ///< "R1".."R5"
+  std::string message;
+  std::string hint;
+  std::string snippet;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  int files = 0;
+  int suppressed = 0;
+};
+
+namespace detail {
+
+inline bool is_obs_path(const std::string& path) {
+  return path.find("obs/") != std::string::npos ||
+         path.find("obs\\") != std::string::npos;
+}
+
+inline std::string snippet_of(const SourceFile& f, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > f.lines.size()) {
+    return "";
+  }
+  const std::string& raw = f.lines[static_cast<std::size_t>(line) - 1];
+  std::size_t b = raw.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::string s = raw.substr(b);
+  if (s.size() > 120) s = s.substr(0, 117) + "...";
+  return s;
+}
+
+inline std::string site_label(const AccessSite& s) {
+  if (s.kind == AccessSite::Kind::kOperator) {
+    return "'" + s.object + " " + s.method + "'";
+  }
+  if (s.kind == AccessSite::Kind::kFence) {
+    return "std::" + s.method;
+  }
+  return "'" + (s.object.empty() ? std::string("<atomic>") : s.object) +
+         "." + s.method + "(...)'";
+}
+
+/// True when an annotation on line `a` binds to a site spanning
+/// [begin, end]: same line, inside the span, or up to kAnnotationWindow
+/// lines above it.
+inline bool covers(int a, int begin, int end) {
+  return a >= begin - kAnnotationWindow && a <= end;
+}
+
+}  // namespace detail
+
+inline void run_rules(const FileModel& m, LintResult* out) {
+  const SourceFile& src = m.src;
+  std::vector<Finding> found;
+
+  auto add = [&](int line, int line_end, const char* rule,
+                 std::string message, std::string hint) {
+    Finding f;
+    f.file = src.path;
+    f.line = line;
+    f.line_end = line_end < line ? line : line_end;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.hint = std::move(hint);
+    f.snippet = detail::snippet_of(src, line);
+    found.push_back(std::move(f));
+  };
+
+  // ---- R1 / R2 / R3 over access sites ------------------------------
+  const bool obs = detail::is_obs_path(src.path);
+  for (const AccessSite& s : m.sites) {
+    const std::string label = detail::site_label(s);
+
+    if (s.kind == AccessSite::Kind::kOperator) {
+      add(s.line_begin, s.line_end, "R1",
+          "operator access " + label +
+              " on an atomic is an implicit seq_cst operation",
+          "rewrite as load()/store()/fetch_*() naming an explicit "
+          "std::memory_order");
+    } else if (s.orders.empty() && s.kind != AccessSite::Kind::kFence) {
+      add(s.line_begin, s.line_end, "R1",
+          "atomic access " + label +
+              " relies on the defaulted seq_cst memory order",
+          "pass an explicit std::memory_order_*; if seq_cst is intended, "
+          "say so and add a mwllsc-ordering contract for it");
+    }
+
+    bool uses_seq_cst = false;
+    bool all_relaxed = true;
+    for (const std::string& o : s.orders) {
+      if (o == "seq_cst") uses_seq_cst = true;
+      if (o != "relaxed") all_relaxed = false;
+    }
+
+    if (uses_seq_cst) {
+      bool contracted = false;
+      for (const Annotation& a : src.annotations) {
+        if (a.kind == Annotation::Kind::kOrdering && a.order == "seq_cst" &&
+            detail::covers(a.line, s.line_begin, s.line_end)) {
+          contracted = true;
+          break;
+        }
+      }
+      if (!contracted) {
+        add(s.line_begin, s.line_end, "R2",
+            "seq_cst access " + label + " has no ordering contract",
+            "add 'mwllsc-ordering: seq_cst(<why a total order is "
+            "needed>)' in a comment on or just above the access");
+      }
+    }
+
+    if (obs && !s.orders.empty() && !all_relaxed &&
+        s.kind != AccessSite::Kind::kLoad &&
+        s.kind != AccessSite::Kind::kFence) {
+      std::string used;
+      for (const std::string& o : s.orders) {
+        if (!used.empty()) used += ",";
+        used += o;
+      }
+      add(s.line_begin, s.line_end, "R3",
+          "obs/ single-writer ring store " + label + " uses '" + used +
+              "'",
+          "trace-ring head/slot stores must be memory_order_relaxed: the "
+          "rings are single-writer and readers synchronize via join");
+    }
+  }
+
+  // ---- R2: contracts that match no access rot into lies ------------
+  for (const Annotation& a : src.annotations) {
+    if (a.kind != Annotation::Kind::kOrdering) continue;
+    bool matched = false;
+    for (const AccessSite& s : m.sites) {
+      if (!detail::covers(a.line, s.line_begin, s.line_end)) continue;
+      for (const std::string& o : s.orders) {
+        if (o == a.order) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    if (!matched) {
+      add(a.line, a.line, "R2",
+          "ordering contract 'mwllsc-ordering: " + a.order +
+              "(...)' matches no nearby atomic access",
+          "keep the contract adjacent to the access it justifies, and "
+          "keep its order in sync with the code");
+    }
+  }
+
+  // ---- R4 over raw-atomic escape hatches ---------------------------
+  for (const RawUse& r : m.raw) {
+    add(r.line, r.line, "R4",
+        "raw atomic/volatile primitive '" + r.what + "'",
+        "use std::atomic<> with an explicit memory_order so the ordering "
+        "discipline can see the access");
+  }
+
+  // ---- R5 over shared atomic field declarations --------------------
+  for (const AtomicDecl& d : m.decls) {
+    if (!(d.member || d.global) || d.pointer || d.padded) continue;
+    bool exempt = false;
+    for (const Annotation& a : src.annotations) {
+      if (a.kind == Annotation::Kind::kPadExempt &&
+          detail::covers(a.line, d.line, d.line)) {
+        exempt = true;
+        break;
+      }
+    }
+    if (exempt) continue;
+    add(d.line, d.line, "R5",
+        "shared atomic field '" + d.name + "' is not cache-line padded",
+        "declare it (or its enclosing struct) alignas(64), or annotate "
+        "'mwllsc-pad: exempt(<why false sharing is acceptable here>)'");
+  }
+
+  // ---- suppression pass --------------------------------------------
+  for (Finding& f : found) {
+    bool drop = false;
+    for (const Annotation& a : src.annotations) {
+      if (a.kind != Annotation::Kind::kSuppress) continue;
+      if (a.line < f.line - 1 || a.line > f.line_end) continue;
+      for (const std::string& r : a.rules) {
+        if (r == f.rule) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) break;
+    }
+    if (drop) {
+      ++out->suppressed;
+    } else {
+      out->findings.push_back(std::move(f));
+    }
+  }
+  ++out->files;
+}
+
+}  // namespace mwllsc::lint

@@ -1,0 +1,294 @@
+// mwllsc-lint source layer: loads a file into (a) the raw lines, (b) a
+// "code view" with comments, string literals and char literals blanked out
+// (same byte offsets, so token line numbers stay true), and (c) the parsed
+// in-source lint annotations. The annotation grammar (DESIGN.md §9):
+//
+//   ordering contract   "mwllsc-ordering:" <order> "(" <reason> ")"
+//   padding exemption   "mwllsc-pad:" "exempt" "(" <reason> ")"
+//   suppression         "mwllsc-lint-suppress" "(" Rn[,Rm...] ":" <reason> ")"
+//
+// (terminals quoted here so this very comment does not parse as one)
+//
+// all inside ordinary //- or /*-comments. An ordering contract binds to the
+// access sites whose span it overlaps (same line, up to kWindow lines above
+// the site's first line, or any line of a multi-line call); a suppression
+// binds to its own line plus the next line when the comment stands alone.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mwllsc::lint {
+
+/// How many lines above an access site an annotation still binds to it.
+constexpr int kAnnotationWindow = 3;
+
+struct Annotation {
+  enum class Kind { kOrdering, kPadExempt, kSuppress };
+
+  Kind kind = Kind::kOrdering;
+  std::string order;               ///< kOrdering: "seq_cst", "relaxed", ...
+  std::vector<std::string> rules;  ///< kSuppress: {"R1", ...}
+  std::string reason;
+  int line = 0;       ///< 1-based line the annotation text starts on
+  bool own_line = false;  ///< no code precedes the comment on its line
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> lines;  ///< raw text, 0-based index = line - 1
+  std::string code;                ///< comment/string-blanked, same offsets
+  std::vector<Annotation> annotations;
+  bool ok = false;
+  std::string error;
+};
+
+namespace detail {
+
+inline void skip_spaces(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+}
+
+inline std::string read_ident(const std::string& s, std::size_t& i) {
+  std::string out;
+  while (i < s.size() &&
+         (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) {
+    out.push_back(s[i++]);
+  }
+  return out;
+}
+
+/// Reads "(...)" starting at s[i] == '(' with paren balancing; returns the
+/// inner text. On malformed input returns what was found and leaves i past
+/// the consumed prefix.
+inline std::string read_parens(const std::string& s, std::size_t& i) {
+  std::string out;
+  if (i >= s.size() || s[i] != '(') return out;
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ++depth;
+      if (depth == 1) continue;
+    } else if (s[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        ++i;
+        return out;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+/// Parses every annotation in one comment's text (which may span lines for
+/// block comments; `line` is where the comment starts, `offset_lines` maps
+/// an in-comment newline count to source lines).
+inline void parse_annotations(const std::string& text, int first_line,
+                              bool own_line,
+                              std::vector<Annotation>* out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto at = text.find("mwllsc-", pos);
+    if (at == std::string::npos) return;
+    int line = first_line;
+    for (std::size_t k = 0; k < at; ++k) {
+      if (text[k] == '\n') ++line;
+    }
+    std::size_t i = at;
+    Annotation a;
+    a.line = line;
+    a.own_line = own_line;
+    if (text.compare(i, 16, "mwllsc-ordering:") == 0) {
+      i += 16;
+      skip_spaces(text, i);
+      a.kind = Annotation::Kind::kOrdering;
+      a.order = read_ident(text, i);
+      skip_spaces(text, i);
+      a.reason = read_parens(text, i);
+      if (!a.order.empty()) out->push_back(a);
+    } else if (text.compare(i, 11, "mwllsc-pad:") == 0) {
+      i += 11;
+      skip_spaces(text, i);
+      const std::string what = read_ident(text, i);
+      skip_spaces(text, i);
+      a.kind = Annotation::Kind::kPadExempt;
+      a.reason = read_parens(text, i);
+      if (what == "exempt") out->push_back(a);
+    } else if (text.compare(i, 20, "mwllsc-lint-suppress") == 0) {
+      i += 20;
+      skip_spaces(text, i);
+      const std::string inner = read_parens(text, i);
+      const auto colon = inner.find(':');
+      const std::string rules =
+          colon == std::string::npos ? inner : inner.substr(0, colon);
+      a.kind = Annotation::Kind::kSuppress;
+      a.reason = colon == std::string::npos ? "" : inner.substr(colon + 1);
+      std::string cur;
+      for (std::size_t k = 0; k <= rules.size(); ++k) {
+        if (k == rules.size() || rules[k] == ',') {
+          std::size_t b = 0, e = cur.size();
+          while (b < e && std::isspace(static_cast<unsigned char>(cur[b])))
+            ++b;
+          while (e > b &&
+                 std::isspace(static_cast<unsigned char>(cur[e - 1])))
+            --e;
+          if (e > b) a.rules.push_back(cur.substr(b, e - b));
+          cur.clear();
+        } else {
+          cur.push_back(rules[k]);
+        }
+      }
+      if (!a.rules.empty()) out->push_back(a);
+    } else {
+      i = at + 7;  // not one of ours ("mwllsc-lint" in prose, etc.)
+    }
+    pos = i;
+  }
+}
+
+}  // namespace detail
+
+/// Builds a SourceFile from in-memory text (the unit tests feed snippets
+/// this way; load_file below is the disk path).
+inline SourceFile scan_source(std::string path, const std::string& text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.ok = true;
+
+  // Split lines (keeping an entry for a trailing unterminated line).
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      f.lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) f.lines.push_back(cur);
+
+  // One pass building the blanked code view and collecting comments.
+  f.code = text;
+  enum class St { kCode, kLine, kBlock, kStr, kChar };
+  St st = St::kCode;
+  int line = 1;
+  int comment_line = 1;
+  bool comment_own_line = true;
+  bool line_has_code = false;
+  std::string comment_text;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          comment_line = line;
+          comment_own_line = !line_has_code;
+          comment_text.clear();
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          comment_line = line;
+          comment_own_line = !line_has_code;
+          comment_text.clear();
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kStr;
+          line_has_code = true;
+        } else if (c == '\'') {
+          st = St::kChar;
+          line_has_code = true;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          line_has_code = true;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          detail::parse_annotations(comment_text, comment_line,
+                                    comment_own_line, &f.annotations);
+          st = St::kCode;
+        } else {
+          comment_text.push_back(c);
+          f.code[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          detail::parse_annotations(comment_text, comment_line,
+                                    comment_own_line, &f.annotations);
+          st = St::kCode;
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else {
+          comment_text.push_back(c);
+          if (c != '\n') f.code[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && n != '\0') {
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          f.code[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && n != '\0') {
+          f.code[i] = ' ';
+          f.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          f.code[i] = ' ';
+        }
+        break;
+    }
+    if (c == '\n') {
+      line_has_code = false;
+      ++line;
+    }
+  }
+  if (st == St::kLine || st == St::kBlock) {
+    detail::parse_annotations(comment_text, comment_line, comment_own_line,
+                              &f.annotations);
+  }
+  return f;
+}
+
+inline SourceFile load_file(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (!fp) {
+    SourceFile f;
+    f.path = path;
+    f.ok = false;
+    f.error = "cannot open " + path;
+    return f;
+  }
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(fp);
+  return scan_source(path, text);
+}
+
+}  // namespace mwllsc::lint

@@ -26,6 +26,8 @@ class SpinBarrier {
 
  private:
   const std::uint32_t parties_;
+  // mwllsc-pad: exempt(start-line coordination only, never on a measured
+  // path; the two words ping-pong together, so co-location is harmless)
   std::atomic<std::uint32_t> arrived_{0};
   std::atomic<bool> sense_{false};
 };

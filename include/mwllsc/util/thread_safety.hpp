@@ -1,0 +1,58 @@
+// Clang thread-safety analysis shim. The annotated Mutex/MutexLock pair
+// below lets the blocking baseline say which fields its lock guards
+// (MWLLSC_GUARDED_BY), and clang's -Wthread-safety (enabled on the
+// mwllsc_warnings target whenever the compiler is clang) then proves the
+// lock discipline at compile time. On GCC every macro expands to nothing
+// and Mutex degenerates to a plain std::mutex wrapper, so builds stay
+// byte-for-byte identical in behavior.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MWLLSC_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef MWLLSC_TSA
+#define MWLLSC_TSA(x)  // no-op outside clang
+#endif
+
+#define MWLLSC_CAPABILITY(name) MWLLSC_TSA(capability(name))
+#define MWLLSC_SCOPED_CAPABILITY MWLLSC_TSA(scoped_lockable)
+#define MWLLSC_GUARDED_BY(m) MWLLSC_TSA(guarded_by(m))
+#define MWLLSC_PT_GUARDED_BY(m) MWLLSC_TSA(pt_guarded_by(m))
+#define MWLLSC_ACQUIRE(...) MWLLSC_TSA(acquire_capability(__VA_ARGS__))
+#define MWLLSC_RELEASE(...) MWLLSC_TSA(release_capability(__VA_ARGS__))
+#define MWLLSC_REQUIRES(...) MWLLSC_TSA(requires_capability(__VA_ARGS__))
+#define MWLLSC_EXCLUDES(...) MWLLSC_TSA(locks_excluded(__VA_ARGS__))
+#define MWLLSC_NO_TSA MWLLSC_TSA(no_thread_safety_analysis)
+
+namespace mwllsc::util {
+
+/// std::mutex carrying the capability attribute, so fields can be
+/// declared MWLLSC_GUARDED_BY(mu_) and misuses fail the clang build.
+class MWLLSC_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() MWLLSC_ACQUIRE() { mu_.lock(); }
+  void unlock() MWLLSC_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex, visible to the thread-safety analysis (a raw
+/// std::lock_guard would not release the capability in the analyzer's
+/// eyes).
+class MWLLSC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MWLLSC_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~MutexLock() MWLLSC_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace mwllsc::util

@@ -50,6 +50,8 @@ class TimedRun {
   std::uint64_t measured_ns() const { return measured_ns_; }
 
  private:
+  // mwllsc-pad: exempt(single cold flag, written once at the deadline and
+  // polled read-only by workers; nothing hot shares its line)
   std::atomic<bool> stop_{false};
   std::uint64_t measured_ns_ = 0;
 };

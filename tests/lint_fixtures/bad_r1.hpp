@@ -1,0 +1,17 @@
+// lint-expect: R1 (defaulted seq_cst on the fetch_add)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct alignas(64) Counter {
+  std::atomic<std::uint64_t> n{0};
+
+  void bump() { n.fetch_add(1); }
+
+  std::uint64_t read() const { return n.load(std::memory_order_relaxed); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// lint-expect: R2 (explicit seq_cst store with no ordering contract)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct alignas(64) Flag {
+  std::atomic<std::uint64_t> word{0};
+
+  void publish(std::uint64_t v) {
+    word.store(v, std::memory_order_seq_cst);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// lint-expect: R4 (volatile smuggles an un-modeled shared access)
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Box {
+  volatile std::uint64_t raw = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// lint-expect: R5 (shared atomic field with no padding and no exemption)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Shared {
+  std::atomic<std::uint64_t> hot{0};
+
+  void set(std::uint64_t v) { hot.store(v, std::memory_order_relaxed); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// lint-expect: R3 (release store on a single-writer ring head)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct alignas(64) Ring {
+  std::atomic<std::uint64_t> head{0};
+
+  void advance(std::uint64_t h) {
+    head.store(h, std::memory_order_release);
+  }
+};
+
+}  // namespace fixture

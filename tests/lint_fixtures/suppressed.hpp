@@ -1,0 +1,18 @@
+// lint-expect: nothing (the R1 below is suppressed; suppressed count 1)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct alignas(64) Legacy {
+  std::atomic<std::uint64_t> n{0};
+
+  void bump() {
+    // mwllsc-lint-suppress(R1: fixture for the suppression mechanism)
+    n.fetch_add(1);
+  }
+};
+
+}  // namespace fixture
