@@ -23,8 +23,19 @@
 //   --metrics: export worst/bound cells as gauges. --trace is accepted but
 //   yields an empty trace: the simulator steps hand-written step machines,
 //   not the real (instrumented) protocol objects.
+//
+// Repro modes (every invariant-violation message embeds the knobs these
+// take — "sched-seed=S" / "churn-seed=S" and "schedule=..."):
+//   --seed S   [--n N] [--w W] [--ops K] [--wl-seed S2]
+//       re-run the single failing random schedule seed on the jp system
+//       under the full checker and exit (0 clean / 1 violation).
+//   --replay "0,1,c0,r0,1,..."  [--n N] [--w W] [--ops K] [--wl-seed S2]
+//       token-for-token re-execution of a recorded schedule ("P" = step,
+//       "cP" = crash, "rP" = reclaim); N/W/ops/wl-seed must match the
+//       failing run or the replay reports the divergence.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -100,9 +111,53 @@ std::uint32_t worst_ll_adversarial(std::uint32_t n, std::uint32_t w,
   return worst;
 }
 
+// Shared setup for the --seed / --replay repro modes: one jp workload with
+// the caller-specified shape, full invariant checking, verbose verdict.
+int run_repro(int argc, char** argv) {
+  const std::string seed_s = bench::arg_value(argc, argv, "--seed");
+  const std::string replay = bench::arg_value(argc, argv, "--replay");
+  auto u32 = [&](const char* flag, std::uint32_t dflt) {
+    const std::string v = bench::arg_value(argc, argv, flag);
+    return v.empty() ? dflt
+                     : static_cast<std::uint32_t>(std::strtoul(
+                           v.c_str(), nullptr, 10));
+  };
+  const std::uint32_t n = u32("--n", 2);
+  const std::uint32_t w = u32("--w", 2);
+  WorkloadConfig cfg;
+  cfg.ops_per_proc = u32("--ops", 300);
+  cfg.seed = u32("--wl-seed", 1);
+  SimWorkload<SimJpSystem> wl(SimJpSystem(n, w, init_value(w)), cfg);
+  JpInvariantChecker chk(wl.system());
+  RunResult r;
+  if (!replay.empty()) {
+    std::printf("replaying %zu schedule chars on jp N=%u W=%u ops=%u\n",
+                replay.size(), n, w, cfg.ops_per_proc);
+    r = run_replay(wl, chk, replay);
+  } else {
+    const std::uint64_t seed = std::strtoull(seed_s.c_str(), nullptr, 10);
+    std::printf("re-running sched-seed=%llu on jp N=%u W=%u ops=%u\n",
+                static_cast<unsigned long long>(seed), n, w,
+                cfg.ops_per_proc);
+    r = run_random(wl, chk, seed);
+  }
+  if (!r.ok) {
+    std::fprintf(stderr, "INVARIANT FAILURE: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("clean: %llu steps, worst LL %u steps (bound %u)\n",
+              static_cast<unsigned long long>(r.total_steps),
+              r.max_ll_steps, SimJpSystem::ll_step_bound(n, w));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::arg_value(argc, argv, "--seed").empty() ||
+      !bench::arg_value(argc, argv, "--replay").empty()) {
+    return run_repro(argc, argv);
+  }
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   bench::ObsSession obs(argc, argv, 1);
   const std::uint32_t seeds = smoke ? 4 : 10;
@@ -204,6 +259,26 @@ int main(int argc, char** argv) {
         "preemptions (ok=%d)\n",
         static_cast<double>(r.schedules_explored) / secs,
         static_cast<unsigned long long>(r.schedules_explored), r.ok ? 1 : 0);
+  }
+  {
+    // Crash-stop churn: periodic crash injection + delayed reclamation
+    // under the full checker — live processes must stay inside 4W+12 with
+    // I1/I2 exact throughout.
+    WorkloadConfig cfg;
+    cfg.ops_per_proc = smoke ? 2000 : 10000;
+    SimWorkload<SimJpSystem> wl(SimJpSystem(3, 4, init_value(4)), cfg);
+    JpInvariantChecker chk(wl.system());
+    ChurnConfig churn;
+    churn.sched_seed = 42;
+    const RunResult r = run_crash_churn(wl, chk, churn);
+    note(r, "crash churn");
+    std::printf(
+        "  crash churn:     %llu steps, %llu crashes / %llu reclaims, "
+        "worst live LL %u steps (bound %u, ok=%d)\n",
+        static_cast<unsigned long long>(r.total_steps),
+        static_cast<unsigned long long>(wl.system().crashes_total()),
+        static_cast<unsigned long long>(wl.system().crash_reclaims_total()),
+        r.max_ll_steps, SimJpSystem::ll_step_bound(3, 4), r.ok ? 1 : 0);
   }
   if (!obs.finish()) return 1;
   if (!g_all_ok) {

@@ -150,19 +150,33 @@ class MwLLSC {
         // total order picks exactly one side of the ownership exchange.
         // mwllsc-ordering: seq_cst(withdraw vs donation CAS, one winner)
         std::uint64_t expect = pack_a(kWaiting, me.xbuf, me.seq);
+        bool reclaimed = false;
         if (!announce_[p].a.compare_exchange_strong(
                 expect, pack_a(kIdle, me.xbuf, me.seq),
                 std::memory_order_seq_cst)) {
-          // A donation raced in. The fast-path value stands; adopt the
-          // donated buffer as our new exchange buffer — the donor took
-          // the one we offered.
-          assert(state_of_a(expect) == kHelped && seq_of_a(expect) == me.seq);
-          me.xbuf = buf_of_a(expect);
-          c.bump(c.ll_helped);
-          trace_.emit(obs::EventKind::kLlHelped, p, me.seq, buf_of_a(expect));
+          if (state_of_a(expect) == kHelped && seq_of_a(expect) == me.seq) {
+            // A donation raced in. The fast-path value stands; adopt the
+            // donated buffer as our new exchange buffer — the donor took
+            // the one we offered.
+            me.xbuf = buf_of_a(expect);
+            c.bump(c.ll_helped);
+            trace_.emit(obs::EventKind::kLlHelped, p, me.seq,
+                        buf_of_a(expect));
+          } else {
+            // The word no longer carries our seq: a crash-stop reclaim
+            // (reclaim_pid) judged this process dead and withdrew the
+            // announce out from under it. The fast-path value is still an
+            // untorn snapshot, but the slot — and the exchange buffer
+            // folded into its word — belong to the reclaimer now, so the
+            // only safe exit is to break the link and finish this op.
+            // Reached only when a reclaimed process is resurrected under
+            // test control; a genuinely dead process never gets here.
+            reclaimed = true;
+          }
         }
         me.ll_buf = b;
-        me.link_valid = (drift == 0);  // any drift already broke the link
+        // Any drift already broke the link; so does a raced reclaim.
+        me.link_valid = (drift == 0) && !reclaimed;
         c.bump(c.ll_ops);
         trace_.emit(obs::EventKind::kLlFast, p, t0, b);
         return;
@@ -298,6 +312,62 @@ class MwLLSC {
     c.bump(c.vl_ops);
     if (!priv_[p].link_valid) return false;
     return x_.vl(p);  // O(1), independent of W
+  }
+
+  /// Crash-stop slot reclamation (membership layer, DESIGN.md §10).
+  /// Settles the announce-slot obligations a dead process left behind so
+  /// its pid can be reissued: a posted WAITING announce is withdrawn (so
+  /// future winners stop donating into a slot nobody will read) and an
+  /// unconsumed donation is adopted into the word's buffer field — the
+  /// dead process's old exchange buffer went to the donor, the donated
+  /// buffer is the slot's buffer now, and the ownership census stays
+  /// exact. The unconditional seq bump fences the slot against stale
+  /// donation CASes keyed to the dead seq. A buffer the dead process held
+  /// mid-retirement is not recovered here: the aged ring absorbs orphaned
+  /// cells via the lapping rule, so survivors never block on it.
+  /// Precondition: p takes no further steps (crash-stop); the pid is
+  /// reissued only after rebind_pid. Returns true if an obligation (a
+  /// posted announce or an unconsumed donation) was actually settled.
+  bool reclaim_pid(std::uint32_t p) {
+    assert(p < n_);
+    // mwllsc-ordering: seq_cst(the withdraw-by-proxy races a winner's
+    // donation CAS on this slot exactly like the owner's withdraw does;
+    // the single total order picks one side of the ownership exchange)
+    std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
+    for (;;) {
+      const std::uint64_t next =
+          pack_a(kIdle, buf_of_a(a), (seq_of_a(a) + 1) & kSeqMask);
+      // mwllsc-ordering: seq_cst(same handshake as the load above: one
+      // winner between this withdraw-by-proxy and a racing donation)
+      if (announce_[p].a.compare_exchange_weak(a, next,
+                                               std::memory_order_seq_cst)) {
+        break;
+      }
+      // Lost to a donation landing on the dead WAITING word; the reloaded
+      // word is HELPED and the next lap adopts it (at most one extra lap:
+      // donations require WAITING, which the word never is again).
+    }
+    trace_.emit(obs::EventKind::kProcCrashReclaim, p, seq_of_a(a));
+    return state_of_a(a) != kIdle;
+  }
+
+  /// Reissues pid p to a new owner after reclaim_pid or a graceful
+  /// retirement: re-derives the private mirror from the announce word so
+  /// the new owner starts consistent — the slot's exchange buffer and seq
+  /// come from the word (a stale HELPED word left by a withdraw-failure
+  /// adoption resolves to the same buffer the old owner held), and the
+  /// link starts broken. Must not run concurrently with any operation by
+  /// a previous owner of p; the membership layer guarantees this by only
+  /// reissuing slots whose holder retired or was reclaimed.
+  void rebind_pid(std::uint32_t p) {
+    assert(p < n_);
+    // mwllsc-ordering: seq_cst(reads the word settled by the retire-path
+    // withdraw or reclaim_pid CAS in the same total order)
+    const std::uint64_t a = announce_[p].a.load(std::memory_order_seq_cst);
+    Priv& me = priv_[p];
+    me.xbuf = buf_of_a(a);
+    me.seq = seq_of_a(a);
+    me.link_valid = false;
   }
 
   std::uint32_t words() const { return w_; }

@@ -18,9 +18,14 @@
 //   every variable labelled as the paper's protocol ("jp…"), exactly one
 //   bank write per successful SC (invariant I2) for every variable that
 //   emits bank writes, and the <= 3 LL/SC rounds bound of the apps-layer
-//   help-all construction. Ring truncation is tolerated as a missing
-//   *prefix* (orphan closes/bank-writes are skipped while dropped > 0);
-//   sampled traces skip sequencing checks entirely.
+//   help-all construction. Membership lifecycle events are cross-checked
+//   too: pid leases must not overlap (join while live), retire must not
+//   leave an LL window open, and a retired/reclaimed pid must not emit
+//   protocol events until its next join — traces from before the
+//   lifecycle layer carry no such events and are checked exactly as
+//   before. Ring truncation is tolerated as a missing *prefix* (orphan
+//   closes/bank-writes are skipped while dropped > 0); sampled traces
+//   skip sequencing checks entirely.
 //
 // * write_prometheus / write_metrics_json — text + JSON export of a
 //   MetricsRegistry.
@@ -51,6 +56,9 @@ struct TraceCheckResult {
   std::uint64_t sc_commits = 0;
   std::uint64_t bank_writes = 0;
   std::uint64_t applies_checked = 0;
+  std::uint64_t joins = 0;          ///< proc_join events (membership layer)
+  std::uint64_t retires = 0;
+  std::uint64_t crash_reclaims = 0;
   bool sampled = false;             ///< sequencing checks skipped
   bool truncated = false;           ///< some ring evicted its prefix
   std::vector<std::string> violations;
@@ -99,8 +107,79 @@ inline TraceCheckResult check_trace(const TraceData& d) {
     };
     std::map<std::uint32_t, VarState> vs;
 
+    // Membership lifecycle (traces without lifecycle events stay in
+    // kUnknown forever and get no lifecycle checks — full backward
+    // compatibility). Degraded join/retire pairs (arg = 1) share one
+    // reserved pid across overlapping sessions, so they are counted but
+    // never drive the liveness state machine.
+    enum class Live { kUnknown, kLive, kDead };
+    Live live = Live::kUnknown;
+    bool dead_use_reported = false;
+
     for (const TraceEvent& e : d.per_pid[pid]) {
       const auto k = static_cast<EventKind>(e.kind);
+
+      if (k == EventKind::kProcJoin) {
+        ++r.joins;
+        if (e.arg != 1) {  // wait-free slot claim (degraded joins overlap)
+          if (live == Live::kLive) {
+            std::snprintf(msg, sizeof(msg),
+                          "pid %zu: proc_join while the pid is already "
+                          "live (no retire/reclaim between leases)",
+                          pid);
+            r.violations.push_back(msg);
+          }
+          live = Live::kLive;
+        }
+        // A new incarnation inherits a quiescent pid: drop half-open
+        // windows left by the previous holder.
+        vs.clear();
+        dead_use_reported = false;
+        continue;
+      }
+      if (k == EventKind::kProcRetire) {
+        ++r.retires;
+        if (e.arg != 1) {
+          if (live == Live::kDead) {
+            std::snprintf(msg, sizeof(msg),
+                          "pid %zu: proc_retire of a pid that is not live",
+                          pid);
+            r.violations.push_back(msg);
+          }
+          if (!trunc) {
+            for (const auto& [var, v2] : vs) {
+              if (v2.in_ll) {
+                std::snprintf(msg, sizeof(msg),
+                              "pid %zu var %u: retired with an open LL "
+                              "window",
+                              pid, var);
+                r.violations.push_back(msg);
+              }
+            }
+          }
+          live = Live::kDead;
+        }
+        vs.clear();
+        continue;
+      }
+      if (k == EventKind::kProcCrashReclaim) {
+        // Emitted by the reclaimer into the dead pid's stream (the slot
+        // word hand-off keeps the stream single-writer). The reclaimer
+        // settled every help obligation, so the pid starts over clean.
+        ++r.crash_reclaims;
+        live = Live::kDead;
+        vs.clear();
+        continue;
+      }
+      if (live == Live::kDead && !dead_use_reported) {
+        std::snprintf(msg, sizeof(msg),
+                      "pid %zu var %u: %s after retire/reclaim without a "
+                      "proc_join",
+                      pid, e.var, event_name(k));
+        r.violations.push_back(msg);
+        dead_use_reported = true;  // one report per gap, not per event
+      }
+
       VarState& v = vs[e.var];
       const TraceData::VarInfo* info = d.var_info(e.var);
       const std::uint32_t w = info ? info->words : 0;

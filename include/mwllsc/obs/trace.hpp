@@ -56,6 +56,9 @@ enum class EventKind : std::uint16_t {
   kAnnounce,        ///< apps: op published              (tag = op seq)
   kHelpAll,         ///< apps: help-all pass ran         (arg = ops applied)
   kApplyCommit,     ///< apps: apply finished            (arg = attempts)
+  kProcJoin,        ///< membership: pid slot acquired   (arg = 1 if degraded)
+  kProcRetire,      ///< membership: pid slot released   (tag = slot generation)
+  kProcCrashReclaim,///< membership: dead pid reclaimed  (tag = announce seq)
   kCount,
 };
 
@@ -63,7 +66,8 @@ inline const char* event_name(EventKind k) {
   static const char* names[] = {
       "ll_start",  "ll_fast",   "ll_helped",    "ll_rescue",     "ll_retry",
       "sc_attempt", "sc_commit", "sc_fail",     "help_install",  "bank_write",
-      "buffer_retire", "announce", "help_all",  "apply_commit"};
+      "buffer_retire", "announce", "help_all",  "apply_commit",
+      "proc_join", "proc_retire", "proc_crash_reclaim"};
   const auto i = static_cast<std::size_t>(k);
   return i < static_cast<std::size_t>(EventKind::kCount) ? names[i] : "?";
 }

@@ -20,22 +20,48 @@
 //   * enumerate_preemption_bounded
 //                           CHESS-style bounded search (Musuvathi & Qadeer):
 //                           exhaustively explore every schedule with at
-//                           most K preemptions, checking invariants and the
-//                           sequential-spec oracle after every step.
+//                           most K preemptions — and, with a crash budget,
+//                           every crash-stop placement — checking
+//                           invariants and the sequential-spec oracle after
+//                           every step;
+//   * run_crash_churn       seeded-random scheduling with periodic
+//                           crash(pid) injection and delayed reclamation —
+//                           the membership layer's churn, in the simulator;
+//   * run_replay            re-executes a recorded schedule token-for-token
+//                           (every invariant-violation message embeds its
+//                           scheduler seed and exact schedule prefix, so
+//                           failures reproduce with --seed/--replay).
 //
 // Systems and checkers are plain copyable values, which is what makes the
 // exhaustive search a simple DFS with state copies at branch points.
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace mwllsc::sim {
+
+namespace detail {
+
+/// Whether a step machine models the crash-stop adversary (crash/reclaim).
+/// Runners that inject crashes compile their crash arms out for systems
+/// that don't (the am/retry baselines), instead of failing to instantiate.
+template <class S, class = void>
+struct SupportsCrash : std::false_type {};
+template <class S>
+struct SupportsCrash<
+    S, std::void_t<decltype(std::declval<S&>().crash(std::uint32_t{0})),
+                   decltype(std::declval<S&>().reclaim(std::uint32_t{0}))>>
+    : std::true_type {};
+
+}  // namespace detail
 
 enum class OpType { kLl, kSc, kVl };
 
@@ -94,7 +120,7 @@ template <class System>
 class SimWorkload {
  public:
   SimWorkload(System sys, WorkloadConfig cfg)
-      : sys_(std::move(sys)), cfg_(cfg) {
+      : sys_(std::move(sys)), cfg_(cfg), crashed_(sys_.n(), 0) {
     procs_.reserve(sys_.n());
     for (std::uint32_t p = 0; p < sys_.n(); ++p) {
       procs_.push_back(Proc{util::SplitMix64(cfg_.seed * 0x9e3779b9u + p)});
@@ -104,8 +130,12 @@ class SimWorkload {
   System& system() { return sys_; }
   const System& system() const { return sys_; }
 
+  /// A crashed process takes no steps until reclaimed, so it counts as
+  /// done for scheduling purposes (done() means "no runnable work", not
+  /// "every script finished" — a crash-stop may strand a script forever).
   bool proc_done(std::uint32_t p) const {
-    return procs_[p].rounds >= cfg_.ops_per_proc && sys_.idle(p);
+    return crashed_[p] != 0 ||
+           (procs_[p].rounds >= cfg_.ops_per_proc && sys_.idle(p));
   }
 
   bool done() const {
@@ -115,11 +145,21 @@ class SimWorkload {
     return true;
   }
 
+  bool crashed(std::uint32_t p) const { return crashed_[p] != 0; }
+
+  /// Whether p's script is finished regardless of crash state (used by
+  /// churn runners to decide if a crashed process is worth reclaiming
+  /// before declaring the run over).
+  bool script_done(std::uint32_t p) const {
+    return procs_[p].rounds >= cfg_.ops_per_proc && sys_.idle(p);
+  }
+
   /// One simulator step of process p, feeding the checker after the step
   /// and after any op completion. p must not be done.
   template <class Checker>
   StepResult step(std::uint32_t p, Checker& chk) {
     assert(!proc_done(p));
+    sched_.push_back(p << 2);
     if (sys_.idle(p)) begin_next(p);
     StepResult r = sys_.step(p);
     ++total_steps_;
@@ -131,9 +171,60 @@ class SimWorkload {
     return r;
   }
 
+  /// Crash-stop event: p freezes wherever it is and never steps again
+  /// (until reclaimed). Re-runs the invariant checks at the crash point —
+  /// a frozen process must leave every invariant intact by construction.
+  template <class Checker>
+  void crash(std::uint32_t p, Checker& chk) {
+    static_assert(detail::SupportsCrash<System>::value,
+                  "this step machine does not model crash-stop");
+    assert(!crashed_[p]);
+    sched_.push_back((p << 2) | 1);
+    crashed_[p] = 1;
+    sys_.crash(p);
+    chk.on_step(sys_);
+  }
+
+  /// Reclaims a crashed process's slot (completing/withdrawing its help
+  /// obligations, see System::reclaim) and makes the pid runnable again;
+  /// its interrupted micro-op restarts from scratch. Re-runs the invariant
+  /// checks — reclamation must restore the exact buffer-ownership census.
+  template <class Checker>
+  void reclaim(std::uint32_t p, Checker& chk) {
+    assert(crashed_[p]);
+    sched_.push_back((p << 2) | 2);
+    crashed_[p] = 0;
+    sys_.reclaim(p);
+    chk.on_step(sys_);
+  }
+
   std::uint64_t total_steps() const { return total_steps_; }
   std::uint32_t max_ll_steps() const { return max_ll_steps_; }
   std::uint64_t completed_lls() const { return completed_lls_; }
+
+  /// The exact schedule so far in `--replay` token form: "P" is one step
+  /// of process P, "cP" a crash, "rP" a reclaim. Longer schedules are
+  /// truncated with a "+K" tail — the scheduler seed in the same message
+  /// reproduces them in full.
+  std::string schedule_string(std::size_t max_chars = 4096) const {
+    std::string out;
+    for (std::size_t i = 0; i < sched_.size(); ++i) {
+      std::string tok;
+      switch (sched_[i] & 3) {
+        case 1: tok = "c"; break;
+        case 2: tok = "r"; break;
+        default: break;
+      }
+      tok += std::to_string(sched_[i] >> 2);
+      if (!out.empty()) out += ',';
+      if (out.size() + tok.size() > max_chars) {
+        out += "+" + std::to_string(sched_.size() - i) + " more";
+        break;
+      }
+      out += tok;
+    }
+    return out;
+  }
 
  private:
   // Micro-op script position within the current round.
@@ -191,7 +282,9 @@ class SimWorkload {
 
   System sys_;
   WorkloadConfig cfg_;
+  std::vector<std::uint8_t> crashed_;
   std::vector<Proc> procs_;
+  std::vector<std::uint32_t> sched_;  ///< (pid << 2) | {step=0, crash=1, reclaim=2}
   std::uint64_t total_steps_ = 0;
   std::uint64_t completed_lls_ = 0;
   std::uint32_t max_ll_steps_ = 0;
@@ -199,11 +292,16 @@ class SimWorkload {
 
 namespace detail {
 
-template <class Checker>
-bool bail(const Checker& chk, RunResult& res) {
+/// On a checker violation, embeds how the schedule was produced (the seed
+/// or adversary) plus the exact schedule prefix in the error, so every
+/// failure reproduces via --seed or --replay (bench_sim_schedules).
+template <class System, class Checker>
+bool bail(const Checker& chk, RunResult& res, const SimWorkload<System>& wl,
+          const std::string& how) {
   if (chk.ok()) return false;
   res.ok = false;
-  res.error = chk.error();
+  res.error = chk.error() + " [repro: " + how +
+              " schedule=" + wl.schedule_string() + "]";
   return true;
 }
 
@@ -216,6 +314,7 @@ RunResult run_random(SimWorkload<System>& wl, Checker& chk,
                      std::uint64_t sched_seed) {
   util::Xoshiro256 rng(sched_seed ? sched_seed : 1);
   RunResult res;
+  const std::string how = "sched-seed=" + std::to_string(sched_seed);
   std::vector<std::uint32_t> runnable;
   while (!wl.done()) {
     runnable.clear();
@@ -225,7 +324,141 @@ RunResult run_random(SimWorkload<System>& wl, Checker& chk,
     const std::uint32_t p =
         runnable[rng.next_below(static_cast<std::uint32_t>(runnable.size()))];
     wl.step(p, chk);
-    if (detail::bail(chk, res)) break;
+    if (detail::bail(chk, res, wl, how)) break;
+  }
+  res.total_steps = wl.total_steps();
+  res.max_ll_steps = wl.max_ll_steps();
+  return res;
+}
+
+/// Churn scheduling for the crash-stop adversary: seeded-random stepping
+/// with a crash injected every ~crash_period steps (never the last live
+/// process) and each dead slot reclaimed reclaim_delay steps later, so
+/// survivors keep running against frozen announces, orphaned donations and
+/// in-flight retirements, then against the recycled slots.
+struct ChurnConfig {
+  std::uint64_t sched_seed = 1;
+  std::uint32_t crash_period = 53;   ///< steps between crash injections
+  std::uint32_t reclaim_delay = 23;  ///< steps a dead slot stays unreclaimed
+  std::uint32_t max_concurrent_crashes = 1;
+};
+
+template <class System, class Checker>
+RunResult run_crash_churn(SimWorkload<System>& wl, Checker& chk,
+                          ChurnConfig cfg) {
+  static_assert(detail::SupportsCrash<System>::value,
+                "crash churn needs a step machine with crash/reclaim");
+  util::Xoshiro256 rng(cfg.sched_seed ? cfg.sched_seed : 1);
+  RunResult res;
+  const std::string how = "churn-seed=" + std::to_string(cfg.sched_seed);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> dead;  // pid, at step
+  std::vector<std::uint32_t> runnable;
+  std::uint64_t next_crash = cfg.crash_period;
+  for (;;) {
+    // Reclaim dead slots whose grace period expired.
+    while (!dead.empty() &&
+           wl.total_steps() >= dead.front().second + cfg.reclaim_delay) {
+      wl.reclaim(dead.front().first, chk);
+      dead.erase(dead.begin());
+      if (detail::bail(chk, res, wl, how)) goto out;
+    }
+    if (wl.done()) {
+      // Only frozen stragglers can still hold unfinished scripts; recycle
+      // them and let them finish (the run must end with every op done, or
+      // the oracle would be vacuous on the tail).
+      if (dead.empty()) break;
+      for (const auto& d : dead) {
+        wl.reclaim(d.first, chk);
+        if (detail::bail(chk, res, wl, how)) goto out;
+      }
+      dead.clear();
+      if (wl.done()) break;
+    }
+    runnable.clear();
+    for (std::uint32_t p = 0; p < wl.system().n(); ++p) {
+      if (!wl.proc_done(p)) runnable.push_back(p);
+    }
+    if (runnable.empty()) continue;  // everyone crashed; loop reclaims
+    if (wl.total_steps() >= next_crash && runnable.size() > 1 &&
+        dead.size() < cfg.max_concurrent_crashes) {
+      const std::uint32_t v = runnable[rng.next_below(
+          static_cast<std::uint32_t>(runnable.size()))];
+      wl.crash(v, chk);
+      dead.emplace_back(v, wl.total_steps());
+      next_crash = wl.total_steps() + cfg.crash_period;
+      if (detail::bail(chk, res, wl, how)) goto out;
+      continue;
+    }
+    const std::uint32_t p =
+        runnable[rng.next_below(static_cast<std::uint32_t>(runnable.size()))];
+    wl.step(p, chk);
+    if (detail::bail(chk, res, wl, how)) goto out;
+  }
+out:
+  res.total_steps = wl.total_steps();
+  res.max_ll_steps = wl.max_ll_steps();
+  return res;
+}
+
+/// Re-executes a recorded schedule token-for-token (the format
+/// schedule_string emits and invariant-violation messages embed): "P"
+/// steps process P, "cP" crashes it, "rP" reclaims it. Stops at the end of
+/// the tokens or when the workload completes; a token that is not
+/// applicable (wrong config or seed) reports divergence instead of
+/// asserting.
+template <class System, class Checker>
+RunResult run_replay(SimWorkload<System>& wl, Checker& chk,
+                     const std::string& schedule) {
+  RunResult res;
+  std::size_t i = 0;
+  while (i < schedule.size() && !wl.done()) {
+    if (schedule[i] == ',' || schedule[i] == ' ') {
+      ++i;
+      continue;
+    }
+    char kind = 's';
+    if (schedule[i] == 'c' || schedule[i] == 'r') kind = schedule[i++];
+    if (i >= schedule.size() || schedule[i] < '0' || schedule[i] > '9') {
+      res.ok = false;
+      res.error = "replay: malformed token at offset " + std::to_string(i);
+      break;
+    }
+    std::uint32_t p = 0;
+    while (i < schedule.size() && schedule[i] >= '0' && schedule[i] <= '9') {
+      p = p * 10 + static_cast<std::uint32_t>(schedule[i++] - '0');
+    }
+    const char* diverged = nullptr;
+    if (p >= wl.system().n()) {
+      diverged = "pid out of range";
+    } else if (kind == 'c') {
+      if (wl.crashed(p)) diverged = "crash of an already-crashed pid";
+    } else if (kind == 'r') {
+      if (!wl.crashed(p)) diverged = "reclaim of a live pid";
+    } else if (wl.proc_done(p)) {
+      diverged = "step of a done/crashed pid";
+    }
+    if (diverged) {
+      res.ok = false;
+      res.error = std::string("replay diverged (") + diverged +
+                  "): check that N/W/ops/seed match the failing run";
+      break;
+    }
+    if (kind == 'c' || kind == 'r') {
+      if constexpr (detail::SupportsCrash<System>::value) {
+        if (kind == 'c') {
+          wl.crash(p, chk);
+        } else {
+          wl.reclaim(p, chk);
+        }
+      } else {
+        res.ok = false;
+        res.error = "replay: crash token for a crash-less step machine";
+        break;
+      }
+    } else {
+      wl.step(p, chk);
+    }
+    if (detail::bail(chk, res, wl, "replay")) break;
   }
   res.total_steps = wl.total_steps();
   res.max_ll_steps = wl.max_ll_steps();
@@ -247,6 +480,7 @@ RunResult run_adversarial_anti(SimWorkload<System>& wl, Checker& chk,
                                std::uint32_t victim_burst,
                                std::uint64_t max_steps) {
   RunResult res;
+  const std::string how = "anti-adversary victim=" + std::to_string(victim);
   System& sys = wl.system();
   const std::uint32_t n = sys.n();
   std::uint32_t rr = victim;  // round-robin cursor over the adversaries
@@ -258,7 +492,7 @@ RunResult run_adversarial_anti(SimWorkload<System>& wl, Checker& chk,
         break;
       }
       wl.step(victim, chk);
-      if (detail::bail(chk, res)) goto out;
+      if (detail::bail(chk, res, wl, how)) goto out;
     }
     if (wl.proc_done(victim)) break;  // the victim survived its whole script
     // Adversary slice: writers run until enough successful SCs land to
@@ -280,20 +514,20 @@ RunResult run_adversarial_anti(SimWorkload<System>& wl, Checker& chk,
         if (q == n) break;  // no adversaries left
         rr = q;
         wl.step(q, chk);
-        if (detail::bail(chk, res)) goto out;
+        if (detail::bail(chk, res, wl, how)) goto out;
         progressed = true;
       }
       if (!progressed) {
         // Degenerate (N==1 or writers exhausted): the victim runs alone.
         wl.step(victim, chk);
-        if (detail::bail(chk, res)) goto out;
+        if (detail::bail(chk, res, wl, how)) goto out;
       } else if (sys.version() - v0 >= sys.doom_delta() &&
                  sys.next_is_validate(victim)) {
         // Only validate once an SC has actually landed; if the step
         // budget ran out mid-slice the validation would *succeed* and
         // hand the victim a completion the adversary never conceded.
         wl.step(victim, chk);  // the doomed validation
-        if (detail::bail(chk, res)) goto out;
+        if (detail::bail(chk, res, wl, how)) goto out;
       }
     }
   }
@@ -311,9 +545,11 @@ struct Enumerator {
   EnumerateResult res;
   bool stop = false;
 
-  void fail(const Checker& chk) {
+  void fail(const Checker& chk, const SimWorkload<System>& wl) {
     res.ok = false;
-    res.error = chk.error();
+    // The enumerated schedule is the exact repro: feed it to --replay.
+    res.error = chk.error() + " [repro: enumerated schedule=" +
+                wl.schedule_string() + "]";
     stop = true;
   }
 
@@ -327,10 +563,21 @@ struct Enumerator {
   // `fresh_switch` marks the step right after a free choice, where
   // preempting would only replay a sibling free branch — suppressing it
   // keeps the enumeration duplicate-free. Recursion depth <= preemption
-  // budget + number of processes: the continue-arm is the loop, not a
-  // recursive call.
+  // budget + crash budget + number of processes: the continue-arm is the
+  // loop, not a recursive call.
+  //
+  // With crash budget, every step of `current` is additionally a branch
+  // point where current crash-stops instead of stepping. Crashing only
+  // the about-to-step process is a sound reduction: a crash is
+  // protocol-inert (it only suppresses the victim's future steps), so any
+  // execution with a crash is step-for-step identical to one where the
+  // victim froze immediately after its own last step — or before its
+  // first, which the free start/switch branches make it `current` for.
+  // The budget therefore injects a crash at every protocol step of every
+  // process without enumerating the redundant placements in between.
   void explore(SimWorkload<System> wl, Checker chk, std::uint32_t current,
-               std::uint32_t preempts_left, bool fresh_switch) {
+               std::uint32_t preempts_left, std::uint32_t crashes_left,
+               bool fresh_switch) {
     for (;;) {
       if (stop) return;
       if (wl.done()) {
@@ -354,7 +601,8 @@ struct Enumerator {
             first = q;
             continue;
           }
-          explore(wl, chk, q, preempts_left, /*fresh_switch=*/true);
+          explore(wl, chk, q, preempts_left, crashes_left,
+                  /*fresh_switch=*/true);
           if (stop) return;
         }
         assert(first < wl.system().n());
@@ -367,11 +615,26 @@ struct Enumerator {
           wl2.step(q, chk2);
           ++res.total_steps;
           if (!chk2.ok()) {
-            fail(chk2);
+            fail(chk2, wl2);
             return;
           }
           explore(std::move(wl2), std::move(chk2), q, preempts_left - 1,
-                  /*fresh_switch=*/false);
+                  crashes_left, /*fresh_switch=*/false);
+          if (stop) return;
+        }
+      }
+      if constexpr (SupportsCrash<System>::value) {
+        if (crashes_left > 0 && !wl.crashed(current)) {
+          // Crash branch: current freezes here instead of taking this step.
+          SimWorkload<System> wl2 = wl;
+          Checker chk2 = chk;
+          wl2.crash(current, chk2);
+          if (!chk2.ok()) {
+            fail(chk2, wl2);
+            return;
+          }
+          explore(std::move(wl2), std::move(chk2), current, preempts_left,
+                  crashes_left - 1, /*fresh_switch=*/true);
           if (stop) return;
         }
       }
@@ -379,7 +642,7 @@ struct Enumerator {
       fresh_switch = false;
       ++res.total_steps;
       if (!chk.ok()) {
-        fail(chk);
+        fail(chk, wl);
         return;
       }
     }
@@ -389,22 +652,29 @@ struct Enumerator {
 }  // namespace detail
 
 /// CHESS-style bounded exhaustive search: explore every schedule with at
-/// most max_preemptions preemptions (up to max_schedules complete
-/// executions), checking after every step. The choice of which process
-/// runs first is a free branch — it is not a preemption — so the search
-/// really covers every schedule within the budget regardless of who
-/// starts. The workload and checker passed in are templates for the
-/// search's copies; they are left untouched.
+/// most max_preemptions preemptions and max_crashes crash-stop events (up
+/// to max_schedules complete executions), checking after every step. The
+/// choice of which process runs first is a free branch — it is not a
+/// preemption — so the search really covers every schedule within the
+/// budget regardless of who starts; with a crash budget, every protocol
+/// step of every process doubles as a crash-stop injection point (see
+/// Enumerator::explore for why that placement is exhaustive). Crashed
+/// processes stay frozen to the end of the schedule — the live processes
+/// must complete against their abandoned announces, donations and
+/// in-flight retirements. The workload and checker passed in are templates
+/// for the search's copies; they are left untouched.
 template <class System, class Checker>
 EnumerateResult enumerate_preemption_bounded(const SimWorkload<System>& wl,
                                              const Checker& chk,
                                              std::uint32_t max_preemptions,
-                                             std::uint64_t max_schedules) {
+                                             std::uint64_t max_schedules,
+                                             std::uint32_t max_crashes = 0) {
   detail::Enumerator<System, Checker> e;
   e.max_schedules = max_schedules ? max_schedules : 1;
   for (std::uint32_t p = 0; p < wl.system().n() && !e.stop; ++p) {
     if (wl.proc_done(p)) continue;
-    e.explore(wl, chk, p, max_preemptions, /*fresh_switch=*/true);
+    e.explore(wl, chk, p, max_preemptions, max_crashes,
+              /*fresh_switch=*/true);
   }
   return e.res;
 }

@@ -23,6 +23,16 @@
 //               SC intervened since the matching LL (the Brown–Ellen–
 //               Ruppert "pragmatic primitives" contract: failures are
 //               semantic, never spurious); VL mirrors SC.
+//
+// Crash-stop schedules need no weakening of any check: the harness re-runs
+// on_step at every crash and reclaim event, so a frozen process must leave
+// the ownership census and the bank-write equation exact (its buffers stay
+// owned, its in-flight retirement stays pending), reclamation must restore
+// them (adopting donations, completing the pending bank write), and the
+// 4W+12 bound and the oracle keep applying to every op the *live*
+// processes complete — which is precisely the wait-freedom claim under
+// crashes: nobody who keeps taking steps is ever blocked or starved by a
+// process that stopped.
 #pragma once
 
 #include <cstdint>

@@ -113,9 +113,71 @@ class SimJpSystem {
     pr.phase = Phase::kVl;
   }
 
+  // ----------------------------------------------- crash-stop adversary
+  /// Crash-stop: process p takes no further steps, frozen wherever it is —
+  /// possibly mid-LL, mid-donation, or between announce and withdraw. A
+  /// crashed process keeps every invariant exact by construction: its
+  /// buffers stay in the census under their current owners, and if it
+  /// froze between the X SC and the ring swap it stays counted in
+  /// pending_bank_writes().
+  void crash(std::uint32_t p) {
+    assert(!procs_[p].crashed);
+    procs_[p].crashed = true;
+    ++crashes_;
+  }
+
+  bool crashed(std::uint32_t p) const { return procs_[p].crashed; }
+
+  /// Recycles a crashed process's slot, settling every obligation the dead
+  /// process left behind (mirrors core reclaim_pid + rebind_pid):
+  ///  - an in-flight bank write (crashed between the X SC and the ring
+  ///    swap) is completed on its behalf, so I2 stays an equality;
+  ///  - a posted WAITING announce is withdrawn, so winners stop donating
+  ///    into a slot nobody reads;
+  ///  - an unconsumed donation is adopted (the donor took the dead
+  ///    process's offered exchange buffer; the donated buffer is the
+  ///    exchange side now), so the I1 census stays exact.
+  /// The seq bump fences the slot against donations keyed to the dead
+  /// incarnation. The pid is live again afterwards: its abandoned op is
+  /// simply gone (the workload restarts the interrupted micro-op).
+  void reclaim(std::uint32_t p) {
+    Proc& pr = procs_[p];
+    assert(pr.crashed);
+    // Complete the in-flight retirement first: the SC succeeded, so its
+    // one bank write must still happen exactly once.
+    if (pr.phase == Phase::kScSwapRead || pr.phase == Phase::kScSwapCas) {
+      const std::uint64_t mytag = pr.link.tag + 1;
+      RingCell& cell = ring_[ring_cell_of(mytag)];
+      const std::uint64_t d = mytag - cell.tag;
+      if (d >= ring_size_ && !(d >> 63)) {
+        pr.spare = cell.buf;
+        cell = RingCell{pr.retired, mytag};
+      } else {
+        pr.spare = pr.retired;  // lapped while dead; the retiree aged
+      }
+      ++bank_writes_;
+    }
+    // Settle the announce slot: withdraw a posted announce, adopt an
+    // unconsumed donation.
+    Slot& s = slot_[p];
+    if (s.state == kHelped) pr.xbuf = s.buf;
+    pr.seq += 1;
+    s = Slot{kIdle, pr.xbuf, pr.seq, 0};
+    pr.link_valid = false;
+    pr.linked = false;
+    pr.rec = OpRecord{};
+    pr.phase = Phase::kIdle;
+    pr.crashed = false;
+    ++crash_reclaims_;
+  }
+
+  std::uint64_t crashes_total() const { return crashes_; }
+  std::uint64_t crash_reclaims_total() const { return crash_reclaims_; }
+
   StepResult step(std::uint32_t p) {
     Proc& pr = procs_[p];
     assert(pr.phase != Phase::kIdle);
+    assert(!pr.crashed && "crashed processes take no steps");
     ++pr.rec.steps;
     switch (pr.phase) {
       case Phase::kLlAnnounce:
@@ -303,6 +365,20 @@ class SimJpSystem {
     return procs_[p].phase == Phase::kLlValidate;
   }
 
+  /// Phase probes for the crash-in-donation-window tests: the helper sits
+  /// between its pre-SC donation copy/validation and the exchange CAS.
+  bool next_is_help_mark(std::uint32_t p) const {
+    return procs_[p].phase == Phase::kScHelpMark;
+  }
+  /// p's announce is posted (WAITING) — between announce and withdraw.
+  bool announce_posted(std::uint32_t p) const {
+    return slot_[p].state == kWaiting;
+  }
+  /// An unconsumed donation sits in p's slot.
+  bool donation_posted(std::uint32_t p) const {
+    return slot_[p].state == kHelped;
+  }
+
   /// Version advances a doomed validation needs: the adversary must land
   /// P+1 successful SCs past the victim's link to defeat aged validation.
   std::uint64_t doom_delta() const { return p2_ + 1; }
@@ -422,6 +498,7 @@ class SimJpSystem {
 
   struct Proc {
     Phase phase = Phase::kIdle;
+    bool crashed = false;
     // Durable protocol state.
     std::uint32_t spare = 0;
     std::uint32_t xbuf = 0;
@@ -476,6 +553,8 @@ class SimJpSystem {
   std::uint64_t ll_fast_ = 0;
   std::uint64_t ll_helped_ = 0;
   std::uint64_t ll_retries_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t crash_reclaims_ = 0;
 };
 
 }  // namespace mwllsc::sim

@@ -1,0 +1,22 @@
+// lint-expect: R5 (membership-style slot whose shared word is not padded:
+// adjacent slots in the array false-share a cache line, so claim CASes on
+// one slot slow every neighbor's heartbeat and scan traffic)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Slot {
+  std::atomic<std::uint64_t> word{0};  // state(2) | generation(62)
+
+  bool claim(std::uint64_t gen) {
+    std::uint64_t expect = gen << 2;
+    return word.compare_exchange_strong(expect, ((gen + 1) << 2) | 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+  }
+};
+
+}  // namespace fixture

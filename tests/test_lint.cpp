@@ -65,6 +65,7 @@ void test_fixture_corpus() {
   expect_single("obs/bad_r3.hpp", "R3");
   expect_single("bad_r4.hpp", "R4");
   expect_single("bad_r5.hpp", "R5");
+  expect_single("bad_r5_slot.hpp", "R5");
 
   // The suppressed fixture has a real R1 under a suppression annotation:
   // zero findings, and the suppression is accounted for.

@@ -1,0 +1,503 @@
+// The process lifecycle layer (DESIGN.md §10): SlotRegistry state machine,
+// ProcessSlot RAII, ManagedMwLLSC join/retire/crash-reclaim over the real
+// protocol object, graceful degradation under slot exhaustion, the
+// withdraw-vs-reclaim race in core ll(), lifecycle trace events through
+// the offline checker, and a multithreaded churn run (threads > slots)
+// with cooperative crashes and a maintenance reclaimer.
+// Compiled with MWLLSC_TRACE so the lifecycle events are observable.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mwllsc.hpp"
+#include "membership/managed.hpp"
+#include "membership/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_check.hpp"
+
+using namespace mwllsc;
+using membership::ManagedMwLLSC;
+using membership::ProcessSlot;
+using membership::SlotRegistry;
+
+namespace {
+
+using Jp = core::MwLLSC<llsc::Dw128LLSC>;
+using Managed = ManagedMwLLSC<Jp>;
+
+// ---------------------------------------------------------- slot registry
+
+void registry_state_machine() {
+  SlotRegistry reg(2, /*suspect_scans=*/2);
+  CHECK_EQ(reg.capacity(), 2u);
+  CHECK_EQ(reg.active(), 0u);
+
+  const std::uint32_t a = reg.try_acquire();
+  const std::uint32_t b = reg.try_acquire();
+  CHECK(a != SlotRegistry::kNone && b != SlotRegistry::kNone && a != b);
+  CHECK_EQ(reg.active(), 2u);
+  CHECK_EQ(reg.try_acquire(), SlotRegistry::kNone);  // exhausted: bounded
+
+  // Clean release: CAS on the claimed generation; a second release of the
+  // same incarnation must fail (the generation moved on).
+  const std::uint64_t gen_a = reg.generation(a);
+  CHECK(reg.release(a, gen_a));
+  CHECK(!reg.release(a, gen_a));
+  CHECK_EQ(reg.active(), 1u);
+
+  // Re-claim bumps the generation past the released one.
+  const std::uint32_t a2 = reg.try_acquire();
+  CHECK(a2 != SlotRegistry::kNone);
+  CHECK(reg.generation(a2) > gen_a);
+
+  // Cooperative crash: ORPHANED until a scan recycles it; on_dead runs for
+  // exactly that slot.
+  CHECK(reg.abandon(b, reg.generation(b)));
+  CHECK_EQ(reg.state(b), SlotRegistry::kOrphaned);
+  std::vector<std::uint32_t> dead;
+  CHECK_EQ(reg.scan([&](std::uint32_t s) { dead.push_back(s); },
+                    /*include_stale=*/false),
+           1u);
+  CHECK_EQ(dead.size(), std::size_t{1});
+  CHECK_EQ(dead[0], b);
+  CHECK_EQ(reg.state(b), SlotRegistry::kFree);
+}
+
+void registry_heartbeat_reclaim() {
+  SlotRegistry reg(1, /*suspect_scans=*/2);
+  const std::uint32_t s = reg.try_acquire();
+  CHECK(s != SlotRegistry::kNone);
+  const std::uint64_t gen = reg.generation(s);
+
+  std::uint32_t reclaimed = 0;
+  auto on_dead = [&](std::uint32_t) { ++reclaimed; };
+  // Scan 1 records the baseline; a beat resets the suspicion.
+  CHECK_EQ(reg.scan(on_dead), 0u);
+  reg.beat(s);
+  CHECK_EQ(reg.scan(on_dead), 0u);  // hb moved: baseline re-recorded
+  CHECK_EQ(reg.scan(on_dead), 0u);  // stale 1 < suspect_scans
+  CHECK_EQ(reg.scan(on_dead), 1u);  // stale 2: condemned
+  CHECK_EQ(reclaimed, 1u);
+  // The holder comes back: its release must fail — it was presumed dead.
+  CHECK(!reg.release(s, gen));
+  // Orphan-only scans never condemn by staleness.
+  const std::uint32_t s2 = reg.try_acquire();
+  CHECK(s2 != SlotRegistry::kNone);
+  for (int i = 0; i < 10; ++i) {
+    CHECK_EQ(reg.scan(on_dead, /*include_stale=*/false), 0u);
+  }
+  CHECK_EQ(reg.state(s2), SlotRegistry::kActive);
+}
+
+void raii_guard() {
+  SlotRegistry reg(1);
+  {
+    const std::uint32_t s = reg.try_acquire();
+    ProcessSlot guard(&reg, s);
+    CHECK(guard.valid());
+    CHECK_EQ(guard.id(), s);
+    ProcessSlot moved(std::move(guard));
+    CHECK(!guard.valid());
+    CHECK(moved.valid());
+  }  // moved's dtor released
+  CHECK_EQ(reg.active(), 0u);
+  const std::uint32_t again = reg.try_acquire();
+  CHECK(again != SlotRegistry::kNone);
+  ProcessSlot guard(&reg, again);
+  guard.abandon();
+  CHECK(!guard.valid());
+  CHECK_EQ(reg.state(again), SlotRegistry::kOrphaned);
+}
+
+// ------------------------------------------------------- managed sessions
+
+void managed_basic() {
+  Managed m(2, 3);
+  CHECK_EQ(m.words(), 3u);
+
+  auto a = m.join();
+  auto b = m.join();
+  CHECK(a.valid() && !a.degraded());
+  CHECK(b.valid() && !b.degraded());
+  CHECK(a.pid() != b.pid());
+
+  // Cross-session counter semantics on the one shared variable.
+  std::vector<std::uint64_t> v(3);
+  a.ll(v.data());
+  v[0] += 1;
+  CHECK(a.sc(v.data()));
+  b.ll(v.data());
+  CHECK_EQ(v[0], 1u);
+  v[0] += 1;
+  CHECK(b.sc(v.data()));
+
+  // SC link is consumed; VL without a fresh LL is stale.
+  CHECK(!b.sc(v.data()));
+
+  CHECK(a.retire());
+  CHECK(b.retire());
+  const auto s = m.membership();
+  CHECK_EQ(s.joins, 2u);
+  CHECK_EQ(s.retires, 2u);
+  CHECK_EQ(s.degraded_joins, 0u);
+  CHECK_EQ(s.active, 0u);
+
+  // A retired pid's slot is immediately claimable, and the new holder
+  // starts unlinked: SC without LL fails.
+  auto c = m.join();
+  CHECK(!c.degraded());
+  CHECK(!c.sc(v.data()));
+  c.ll(v.data());
+  CHECK_EQ(v[0], 2u);
+}
+
+void degraded_path() {
+  Managed m(1, 2);
+  auto a = m.join();
+  CHECK(!a.degraded());
+
+  // Slot pool exhausted and nothing to reclaim: degrade, don't fail.
+  auto d1 = m.join();
+  CHECK(d1.valid());
+  CHECK(d1.degraded());
+  CHECK_EQ(d1.pid(), m.reserved_pid());
+
+  // Degraded SC without a prior LL is a semantic failure, not a deadlock.
+  std::vector<std::uint64_t> v(2);
+  CHECK(!d1.sc(v.data()));
+
+  // Degraded sessions linearize with wait-free ones on the same variable:
+  // a's link must die when the degraded session's SC lands.
+  a.ll(v.data());
+  d1.ll(v.data());
+  CHECK(d1.vl());
+  v[0] = 7;
+  CHECK(d1.sc(v.data()));
+  CHECK(!a.sc(v.data()));
+  a.ll(v.data());
+  CHECK_EQ(v[0], 7u);
+  CHECK(a.vl());
+
+  // Two degraded sessions serialize (lock released at SC): no deadlock.
+  auto d2 = m.join();
+  CHECK(d2.degraded());
+  d1.ll(v.data());
+  v[0] = 8;
+  CHECK(d1.sc(v.data()));
+  d2.ll(v.data());
+  CHECK_EQ(v[0], 8u);
+  v[0] = 9;
+  CHECK(d2.sc(v.data()));
+  CHECK(d1.retire());
+  CHECK(d2.retire());
+
+  const auto s = m.membership();
+  CHECK_EQ(s.degraded_joins, 2u);
+  CHECK(s.join_retries >= 2u);
+
+  // Once a slot frees up, joins are wait-free again.
+  CHECK(a.retire());
+  auto back = m.join();
+  CHECK(!back.degraded());
+}
+
+void orphan_reclaim_on_join() {
+  Managed m(2, 2);
+  auto a = m.join();
+  auto b = m.join();
+  std::vector<std::uint64_t> v(2);
+  a.ll(v.data());  // crash mid-link: announce settled, link open
+  a.abandon();
+
+  // Exhausted, but a join-retry orphan sweep recycles a's slot — no
+  // degradation needed, and the reclaim settled the dead pid's announce.
+  auto c = m.join();
+  CHECK(!c.degraded());
+  const auto s = m.membership();
+  CHECK_EQ(s.crash_reclaims, 1u);
+  CHECK(s.join_retries >= 1u);
+  CHECK_EQ(s.degraded_joins, 0u);
+
+  // The recycled pid is quiescent: no link, ops run clean.
+  CHECK(!c.sc(v.data()));
+  c.ll(v.data());
+  v[0] += 1;
+  CHECK(c.sc(v.data()));
+  CHECK(b.valid());
+  b.ll(v.data());
+  CHECK_EQ(v[0], 1u);
+}
+
+// The withdraw-vs-reclaim race in core ll(): a "zombie" whose pid is
+// reclaimed between its announce and its withdraw must take the tolerant
+// branch — link broken, no assert, subsequent SC fails semantically.
+struct ReclaimRaceState {
+  Jp* obj = nullptr;
+  std::uint32_t zombie = 0;
+  bool fired = false;
+};
+
+void reclaim_race_hook(void* ctx, const char* point, std::uint32_t pid) {
+  auto* st = static_cast<ReclaimRaceState*>(ctx);
+  if (st->fired || pid != st->zombie) return;
+  if (std::strcmp(point, "ll:announced") != 0) return;
+  st->fired = true;
+  // Simulate the reclaimer concluding this pid is dead exactly between
+  // its announce and its withdraw.
+  st->obj->reclaim_pid(st->zombie);
+}
+
+void withdraw_reclaim_race() {
+  Jp obj(2, 2);
+  ReclaimRaceState st{&obj, 0, false};
+  obj.set_step_hook(&reclaim_race_hook, &st);
+  std::vector<std::uint64_t> v(2);
+  obj.ll(0, v.data());
+  obj.set_step_hook(nullptr, nullptr);
+  CHECK(st.fired);
+  // The zombie's link is gone (its announce was withdrawn by proxy); its
+  // SC must fail semantically, not corrupt the help machinery.
+  CHECK(!obj.vl(0));
+  CHECK(!obj.sc(0, v.data()));
+  // The object stays fully functional for the other pid.
+  obj.ll(1, v.data());
+  v[0] = 5;
+  CHECK(obj.sc(1, v.data()));
+  obj.ll(1, v.data());
+  CHECK_EQ(v[0], 5u);
+}
+
+// ------------------------------------------------------- lifecycle traces
+
+void traced_lifecycle() {
+  obs::TraceConfig tcfg;
+  tcfg.capacity = 1u << 14;
+  Managed m(2, 2);
+  obs::TraceSink sink(m.slots() + 1, tcfg);  // + the reserved degraded pid
+  m.set_trace(&sink, 0);
+
+  std::vector<std::uint64_t> v(2);
+  auto a = m.join();
+  auto b = m.join();
+  a.ll(v.data());
+  v[0] += 1;
+  CHECK(a.sc(v.data()));
+  a.abandon();                       // crash...
+  auto d = m.join();                 // exhaustion: join-retry orphan sweep
+  CHECK(!d.degraded());              // ...recycled the corpse's slot
+  CHECK(d.retire());
+  CHECK(b.retire());
+
+  const obs::TraceData data = sink.collect();
+  const auto r = obs::check_trace(data);
+  if (!r.ok()) {
+    for (const auto& viol : r.violations)
+      std::fprintf(stderr, "  %s\n", viol.c_str());
+  }
+  CHECK(r.ok());
+  CHECK_EQ(r.joins, 3u);
+  CHECK_EQ(r.retires, 2u);
+  CHECK_EQ(r.crash_reclaims, 1u);
+
+  // Lifecycle events survive the file round-trip with the same verdict.
+  const std::string path = "test_membership_trace.json";
+  CHECK(obs::write_chrome_trace(path, data));
+  obs::TraceData loaded;
+  CHECK(obs::load_chrome_trace(path, &loaded));
+  const auto r2 = obs::check_trace(loaded);
+  CHECK(r2.ok());
+  CHECK_EQ(r2.joins, r.joins);
+  CHECK_EQ(r2.retires, r.retires);
+  CHECK_EQ(r2.crash_reclaims, r.crash_reclaims);
+  std::remove(path.c_str());
+}
+
+// The checker's lifecycle rules, on hand-built streams: leases must not
+// overlap, retire must not leave an LL open, dead pids stay silent.
+obs::TraceEvent ev(obs::EventKind k, std::uint32_t pid, std::uint64_t tsc,
+                   std::uint32_t arg = 0) {
+  obs::TraceEvent e{};
+  e.tsc = tsc;
+  e.tag = 0;
+  e.var = 0;
+  e.arg = arg;
+  e.kind = static_cast<std::uint16_t>(k);
+  e.pid = static_cast<std::uint16_t>(pid);
+  return e;
+}
+
+void checker_lifecycle_rules() {
+  using obs::EventKind;
+  auto base = [] {
+    obs::TraceData d;
+    d.per_pid.resize(1);
+    d.dropped.assign(1, 0);
+    obs::TraceData::VarInfo vi;
+    vi.id = 0;
+    vi.words = 2;
+    vi.label = "jp";
+    d.vars.push_back(vi);
+    return d;
+  };
+
+  {  // double join without retire
+    obs::TraceData d = base();
+    d.per_pid[0] = {ev(EventKind::kProcJoin, 0, 1),
+                    ev(EventKind::kProcJoin, 0, 2)};
+    const auto r = obs::check_trace(d);
+    CHECK(!r.ok());
+    CHECK(r.violations[0].find("already live") != std::string::npos);
+  }
+  {  // retire with an open LL window
+    obs::TraceData d = base();
+    d.per_pid[0] = {ev(EventKind::kProcJoin, 0, 1),
+                    ev(EventKind::kLlStart, 0, 2),
+                    ev(EventKind::kProcRetire, 0, 3)};
+    const auto r = obs::check_trace(d);
+    CHECK(!r.ok());
+    CHECK(r.violations[0].find("open LL") != std::string::npos);
+  }
+  {  // protocol activity after retire
+    obs::TraceData d = base();
+    d.per_pid[0] = {ev(EventKind::kProcJoin, 0, 1),
+                    ev(EventKind::kProcRetire, 0, 2),
+                    ev(EventKind::kLlStart, 0, 3),
+                    ev(EventKind::kLlFast, 0, 4)};
+    const auto r = obs::check_trace(d);
+    CHECK(!r.ok());
+    CHECK_EQ(r.violations.size(), std::size_t{1});  // one report per gap
+    CHECK(r.violations[0].find("without a proc_join") != std::string::npos);
+  }
+  {  // clean lease cycle, including a crash reclaim, passes
+    obs::TraceData d = base();
+    d.per_pid[0] = {ev(EventKind::kProcJoin, 0, 1),
+                    ev(EventKind::kLlStart, 0, 2),
+                    ev(EventKind::kLlFast, 0, 3),
+                    ev(EventKind::kProcCrashReclaim, 0, 4),
+                    ev(EventKind::kProcJoin, 0, 5),
+                    ev(EventKind::kProcRetire, 0, 6)};
+    const auto r = obs::check_trace(d);
+    CHECK(r.ok());
+    CHECK_EQ(r.joins, 2u);
+  }
+  {  // overlapping degraded leases (arg=1) are legal on the shared pid
+    obs::TraceData d = base();
+    d.per_pid[0] = {ev(EventKind::kProcJoin, 0, 1, 1),
+                    ev(EventKind::kProcJoin, 0, 2, 1),
+                    ev(EventKind::kProcRetire, 0, 3, 1),
+                    ev(EventKind::kProcRetire, 0, 4, 1)};
+    const auto r = obs::check_trace(d);
+    CHECK(r.ok());
+  }
+}
+
+// -------------------------------------------------------------- MT churn
+
+void mt_churn() {
+  constexpr std::uint32_t kSlots = 3;
+  constexpr unsigned kThreads = 6;
+  constexpr unsigned kSessions = 60;
+  constexpr unsigned kOpsPerSession = 25;
+
+  Managed m(kSlots, 2, /*suspect_scans=*/1000000);  // staleness disarmed
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> abandons{0};
+
+  // Maintenance reclaimer: orphan-only sweeps (heartbeat condemnation is
+  // deliberately disarmed — threads here can be descheduled arbitrarily,
+  // exactly the false-positive scenario the policy knob exists for).
+  std::thread reaper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      m.reclaim_scan(/*include_stale=*/false);
+      std::this_thread::yield();
+    }
+    m.reclaim_scan(/*include_stale=*/false);
+  });
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      std::vector<std::uint64_t> v(2);
+      for (unsigned sess = 0; sess < kSessions; ++sess) {
+        auto s = m.join();
+        for (unsigned op = 0; op < kOpsPerSession; ++op) {
+          // Retry until this session's increment lands (SC failures are
+          // semantic: somebody else's SC intervened).
+          for (;;) {
+            s.ll(v.data());
+            v[0] += 1;
+            v[1] = t;
+            if (s.sc(v.data())) break;
+          }
+        }
+        if (!s.degraded() && sess % 7 == 3) {
+          s.abandon();  // cooperative crash, mid-pool
+          abandons.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          s.retire();
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  stop.store(true, std::memory_order_release);
+  reaper.join();
+
+  // Every increment that reported success is in the final value: the
+  // lifecycle layer lost no SC and double-applied none.
+  auto final_session = m.join();
+  std::vector<std::uint64_t> v(2);
+  final_session.ll(v.data());
+  CHECK_EQ(v[0],
+           std::uint64_t{kThreads} * kSessions * kOpsPerSession);
+  CHECK_EQ(v[0], m.stats().sc_success - 0u);
+  final_session.retire();
+
+  const auto s = m.membership();
+  CHECK_EQ(s.joins + s.degraded_joins,
+           std::uint64_t{kThreads} * kSessions + 1);
+  CHECK_EQ(s.crash_reclaims, abandons.load());
+  CHECK_EQ(s.retires + abandons.load(),
+           std::uint64_t{kThreads} * kSessions + 1);
+  CHECK_EQ(s.active, 0u);
+
+  // Metrics surface the lifecycle series.
+  obs::MetricsRegistry reg;
+  m.export_metrics(reg, "impl=\"jp\"");
+  CHECK(reg.metrics().count(
+      "mwllsc_membership_joins_total{impl=\"jp\"}"));
+  CHECK(reg.metrics().count(
+      "mwllsc_membership_crash_reclaims_total{impl=\"jp\"}"));
+
+  // Footprint gained the registry part.
+  bool has_registry_part = false;
+  const auto fp = m.footprint();
+  for (const auto& part : fp.parts()) {
+    if (part.name.find("membership") != std::string::npos) {
+      has_registry_part = true;
+    }
+  }
+  CHECK(has_registry_part);
+}
+
+}  // namespace
+
+int main() {
+  registry_state_machine();
+  registry_heartbeat_reclaim();
+  raii_guard();
+  managed_basic();
+  degraded_path();
+  orphan_reclaim_on_join();
+  withdraw_reclaim_race();
+  traced_lifecycle();
+  checker_lifecycle_rules();
+  mt_churn();
+  std::printf("test_membership: OK\n");
+  return 0;
+}

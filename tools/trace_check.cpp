@@ -2,10 +2,12 @@
 // any bench's --trace flag) and re-verifies the protocol's observable
 // guarantees from events alone — the 4W+12 LL step bound and zero defensive
 // retries for jp-labelled variables, exactly one bank write per successful
-// SC (invariant I2), and the <= 3-round bound of the apps-layer help-all
-// construction. This makes a trace file a portable correctness artifact:
-// the same rules run on live rings (tests/test_obs) and on a file from
-// another machine or CI run.
+// SC (invariant I2), the <= 3-round bound of the apps-layer help-all
+// construction, and the membership lifecycle discipline (pid leases never
+// overlap, nobody retires mid-LL, retired/reclaimed pids stay silent until
+// rejoined). This makes a trace file a portable correctness artifact: the
+// same rules run on live rings (tests/test_obs) and on a file from another
+// machine or CI run.
 //
 // Usage: trace_check FILE...
 // Exit:  0 if every file loads and checks clean, 1 otherwise.
@@ -47,6 +49,11 @@ int main(int argc, char** argv) {
                 "   applies: %" PRIu64 "%s\n",
                 r.sc_commits, r.bank_writes, r.applies_checked,
                 r.truncated ? "   [ring-truncated prefix tolerated]" : "");
+    if (r.joins + r.retires + r.crash_reclaims > 0) {
+      std::printf("  lifecycle:     %" PRIu64 " joins   %" PRIu64
+                  " retires   %" PRIu64 " crash reclaims\n",
+                  r.joins, r.retires, r.crash_reclaims);
+    }
     for (const auto& v : d.vars) {
       std::printf("    var %u: W=%u \"%s\"\n", v.id, v.words,
                   v.label.c_str());
